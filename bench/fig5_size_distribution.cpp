@@ -1,0 +1,65 @@
+// Fig. 5 — Community Size Distribution with Small Social Graphs.
+//
+// The paper plots the distribution of detected community sizes on Amazon
+// and ND-Web for the sequential and parallel algorithms, showing matching
+// shapes (few large communities, many small ones) and reports the largest
+// community each engine finds. Same harness, LFR stand-ins.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/louvain_par.hpp"
+#include "graph/csr.hpp"
+#include "metrics/partition_utils.hpp"
+#include "seq/louvain_seq.hpp"
+#include "util.hpp"
+
+int main() {
+  plv::bench::banner("Fig. 5: community size distribution (sequential vs parallel)",
+                     "Amazon / ND-Web replaced by LFR stand-ins.");
+
+  plv::TextTable table({"graph", "size-bin", "sequential", "parallel"});
+  plv::TextTable extremes({"graph", "engine", "communities", "largest", "median-size"});
+
+  for (const auto& graph : plv::bench::social_standins()) {
+    if (graph.name != "Amazon" && graph.name != "ND-Web") continue;
+    const auto csr = plv::graph::Csr::from_edges(graph.edges, graph.n);
+
+    const auto seq = plv::seq::louvain(csr);
+    plv::core::ParOptions opts;
+    opts.nranks = 4;
+    const auto par = plv::core::louvain_parallel(graph.edges, graph.n, opts);
+
+    auto d_seq = plv::metrics::size_distribution_log2(seq.final_labels);
+    auto d_par = plv::metrics::size_distribution_log2(par.final_labels);
+    const std::size_t bins = std::max(d_seq.size(), d_par.size());
+    d_seq.resize(bins, 0);
+    d_par.resize(bins, 0);
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (d_seq[b] == 0 && d_par[b] == 0) continue;
+      table.row()
+          .add(graph.name)
+          .add("[" + std::to_string(1ULL << b) + "," + std::to_string(1ULL << (b + 1)) +
+               ")")
+          .add(d_seq[b])
+          .add(d_par[b]);
+    }
+
+    for (const auto& [engine, labels] :
+         {std::pair{"sequential", &seq.final_labels}, {"parallel", &par.final_labels}}) {
+      auto sizes = plv::metrics::community_sizes(*labels);
+      std::sort(sizes.begin(), sizes.end());
+      extremes.row()
+          .add(graph.name)
+          .add(engine)
+          .add(sizes.size())
+          .add(sizes.empty() ? 0 : sizes.back())
+          .add(sizes.empty() ? 0 : sizes[sizes.size() / 2]);
+    }
+  }
+
+  table.print();
+  std::cout << "\nlargest/median community per engine (paper: 358 vs 278 for Amazon,\n"
+               "5020 vs 5286 for ND-Web — shapes, not absolutes, at our scale):\n";
+  extremes.print();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Micro-benchmarks of the messaging layer (google-benchmark).
+//
+// The paper attributes its scalability to a runtime "specifically
+// designed for fine-grained applications" (abstract). These measure the
+// constants of our substitute: collective latency, alltoallv exchange
+// bandwidth, and the fine-grained aggregation path's records/second at
+// different coalescing capacities — the knob the Aggregator exists for.
+#include <benchmark/benchmark.h>
+
+#include "pml/aggregator.hpp"
+#include "pml/comm.hpp"
+
+namespace {
+
+using plv::pml::Aggregator;
+using plv::pml::Comm;
+using plv::pml::Runtime;
+
+void BM_Barrier(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();  // runtime spin-up excluded per iteration batch
+    state.ResumeTiming();
+    Runtime::run(nranks, [&](Comm& comm) {
+      for (int i = 0; i < 100; ++i) comm.barrier();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AllreduceSum(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Runtime::run(nranks, [&](Comm& comm) {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < 100; ++i) {
+        acc += comm.allreduce_sum<std::uint64_t>(static_cast<std::uint64_t>(comm.rank()));
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_AllreduceSum)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExchangeBandwidth(benchmark::State& state) {
+  const int nranks = 4;
+  const auto records = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Runtime::run(nranks, [&](Comm& comm) {
+      std::vector<std::vector<std::uint64_t>> out(nranks);
+      for (int d = 0; d < nranks; ++d) out[d].assign(records, 42);
+      const auto in = comm.exchange(out);
+      benchmark::DoNotOptimize(in.size());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records) * nranks * nranks);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records * sizeof(std::uint64_t)) *
+                          nranks * nranks);
+}
+BENCHMARK(BM_ExchangeBandwidth)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_AggregatorThroughput(benchmark::State& state) {
+  // The Fig.-style coalescing sweep: tiny chunks vs paper-sized chunks.
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  constexpr int nranks = 4;
+  constexpr std::size_t kRecords = 50000;
+  struct Rec {
+    std::uint32_t a, b;
+    double w;
+  };
+  for (auto _ : state) {
+    Runtime::run(nranks, [&](Comm& comm) {
+      Aggregator<Rec> agg(comm, capacity);
+      for (std::size_t i = 0; i < kRecords; ++i) {
+        agg.push(static_cast<int>(i % nranks), Rec{1, 2, 3.0});
+      }
+      agg.flush_all();
+      std::size_t got = 0;
+      comm.drain_until_quiescent<Rec>(
+          [&](int, std::span<const Rec> recs) { got += recs.size(); });
+      benchmark::DoNotOptimize(got);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kRecords) * nranks);
+}
+BENCHMARK(BM_AggregatorThroughput)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Table IV — Performance Results of UK-2007 in the Literature.
+//
+// The paper compares its UK-2007 run (44.90 s, Q = 0.996, 128 P7 nodes)
+// against published results. We cannot host a 3.8 G-edge web crawl;
+// instead we run the largest BTER stand-in that fits this container and
+// print our row next to the literature rows for context, with wall time
+// and achieved modularity measured the same way (full hierarchy).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/louvain_par.hpp"
+#include "gen/bter.hpp"
+#include "util.hpp"
+
+int main() {
+  plv::bench::banner("Table IV: largest-graph end-to-end run",
+                     "UK-2007 (3,783.7M edges) -> BTER stand-in at container scale.");
+
+  plv::gen::BterParams p;
+  p.n = 100000;
+  p.d_min = 4;
+  p.d_max = 128;
+  p.gcc_target = 0.5;
+  p.seed = 13;
+  const auto g = plv::gen::bter(p);
+  std::cout << "stand-in: n=" << p.n << " edges=" << g.edges.size() << "\n\n";
+
+  plv::core::ParOptions opts;
+  opts.nranks = 4;
+  plv::WallTimer t;
+  const auto r = plv::core::louvain_parallel(g.edges, p.n, opts);
+  const double seconds = t.seconds();
+
+  plv::TextTable table({"Reference", "Time", "Modularity", "Processors", "System"});
+  table.row().add("[7] Riedy et al.").add("504.9 s").add("N/A").add("4").add(
+      "Intel E7-8870");
+  table.row().add("[10] Staudt et al.").add("8 min").add("N/A").add("2").add(
+      "Intel E5-2680");
+  table.row().add("[12] Ovelgoenne").add("few hours").add("0.994").add("50 nodes").add(
+      "Intel Xeon");
+  table.row().add("IPDPS'15 paper").add("44.90 s").add("0.996").add("128 nodes").add(
+      "Power 7");
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+    table.row()
+        .add("this repro (BTER stand-in)")
+        .add(buf)
+        .add(r.final_modularity)
+        .add("4 ranks / 1 core")
+        .add("container");
+  }
+  table.print();
+
+  std::cout << "\nlevels=" << r.num_levels() << ", records sent="
+            << r.traffic.records_sent << ", MB sent="
+            << static_cast<double>(r.traffic.bytes_sent) / 1e6 << '\n'
+            << "The literature rows are copied from the paper for context; our\n"
+               "row is measured on a graph ~38,000x smaller (hardware gate).\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "util.hpp"
+
+#include <cmath>
+#include <iostream>
+
+#include "gen/lfr.hpp"
+
+namespace plv::bench {
+
+std::vector<StandIn> social_standins(double scale) {
+  // Each stand-in keeps the *relative* character of its original: web
+  // graphs (ND-Web, UK-2005) get strong, larger communities (low μ);
+  // social networks (YouTube, LiveJournal) get noisier mixing; co-purchase
+  // / collaboration graphs (Amazon, DBLP) sit in between with small
+  // communities. Absolute sizes are laptop-scale.
+  struct Spec {
+    const char* name;
+    const char* description;
+    vid_t n;
+    double mu;
+    std::uint32_t k_min, k_max, c_min, c_max;
+    std::uint64_t seed;
+  };
+  const Spec specs[] = {
+      {"Amazon", "product co-purchasing: many small communities", 3000, 0.30, 4, 24, 8,
+       64, 101},
+      {"DBLP", "collaboration: small dense groups", 3000, 0.25, 4, 32, 8, 96, 102},
+      {"ND-Web", "web pages: strong large communities", 3200, 0.15, 4, 40, 16, 256, 103},
+      {"YouTube", "social: noisy, weak communities", 4000, 0.50, 4, 40, 8, 128, 104},
+      {"LiveJournal", "social: mixed community strength", 5000, 0.40, 6, 48, 16, 256,
+       105},
+      {"Wikipedia", "dense hyperlink graph, weak communities", 5000, 0.55, 8, 64, 16,
+       256, 106},
+  };
+  std::vector<StandIn> out;
+  for (const Spec& s : specs) {
+    gen::LfrParams p;
+    p.n = static_cast<vid_t>(static_cast<double>(s.n) * scale);
+    p.mu = s.mu;
+    p.k_min = s.k_min;
+    p.k_max = s.k_max;
+    p.c_min = s.c_min;
+    p.c_max = s.c_max;
+    p.seed = s.seed;
+    auto g = gen::lfr(p);
+    StandIn si;
+    si.name = s.name;
+    si.description = s.description;
+    si.n = p.n;
+    si.edges = std::move(g.edges);
+    si.ground_truth = std::move(g.ground_truth);
+    out.push_back(std::move(si));
+  }
+  return out;
+}
+
+ExpFit fit_exponential_decay(const std::vector<double>& xs, const std::vector<double>& ys) {
+  // Linear regression of ln(y) = ln(p1) − x/p2.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (ys[i] <= 0) continue;
+    const double x = xs[i];
+    const double y = std::log(ys[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  ExpFit fit;
+  if (n < 2) return fit;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0) return fit;
+  const double slope = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / dn;
+  fit.p1 = std::exp(intercept);
+  fit.p2 = slope < 0 ? -1.0 / slope : 0.0;
+
+  // R² in log space.
+  const double mean_y = sy / dn;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (ys[i] <= 0) continue;
+    const double y = std::log(ys[i]);
+    const double pred = intercept + slope * xs[i];
+    ss_tot += (y - mean_y) * (y - mean_y);
+    ss_res += (y - pred) * (y - pred);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+ExpFit fit_eq7(const std::vector<double>& xs, const std::vector<double>& ys) {
+  // ln(y) = ln(p1) + (1/p2) * (1/x).
+  double sz = 0, sy = 0, szz = 0, szy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (ys[i] <= 0 || xs[i] <= 0) continue;
+    const double z = 1.0 / xs[i];
+    const double y = std::log(ys[i]);
+    sz += z;
+    sy += y;
+    szz += z * z;
+    szy += z * y;
+    ++n;
+  }
+  ExpFit fit;
+  if (n < 2) return fit;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * szz - sz * sz;
+  if (denom == 0) return fit;
+  const double slope = (dn * szy - sz * sy) / denom;
+  const double intercept = (sy - slope * sz) / dn;
+  fit.p1 = std::exp(intercept);
+  fit.p2 = slope > 0 ? 1.0 / slope : 0.0;
+
+  const double mean_y = sy / dn;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (ys[i] <= 0 || xs[i] <= 0) continue;
+    const double y = std::log(ys[i]);
+    const double pred = intercept + slope / xs[i];
+    ss_tot += (y - mean_y) * (y - mean_y);
+    ss_res += (y - pred) * (y - pred);
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+void banner(const std::string& artifact, const std::string& notes) {
+  std::cout << "==============================================================\n"
+            << artifact << '\n'
+            << "(Que, Checconi, Petrini, Gunnels: \"Scalable Community\n"
+            << " Detection with the Louvain Algorithm\", IPDPS 2015)\n";
+  if (!notes.empty()) std::cout << notes << '\n';
+  std::cout << "==============================================================\n";
+}
+
+}  // namespace plv::bench

@@ -1,0 +1,48 @@
+// Shared helpers for the bench harnesses that regenerate the paper's
+// tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace plv::bench {
+
+/// A laptop-scale stand-in for one of the paper's real-world graphs
+/// (Table I). Generated with LFR parameters chosen to mimic the original
+/// graph's community character (see social_standins() in util.cpp); the
+/// substitution is recorded in DESIGN.md.
+struct StandIn {
+  std::string name;        // the paper graph it stands in for
+  std::string description;
+  graph::EdgeList edges;
+  vid_t n{0};
+  std::vector<vid_t> ground_truth;  // empty when the generator has none
+};
+
+/// Stand-ins for the small/medium social graphs used by Fig. 4/5 and
+/// Table III: Amazon, DBLP, ND-Web, YouTube, LiveJournal, Wikipedia.
+/// `scale` multiplies the default vertex counts (1 = default ≈ 2-6k).
+[[nodiscard]] std::vector<StandIn> social_standins(double scale = 1.0);
+
+/// Least-squares fit of y ≈ p1 · e^(−x / p2) by linear regression of
+/// log(y) on x. Points with y <= 0 are skipped. Returns {p1, p2}.
+struct ExpFit {
+  double p1{0.0};
+  double p2{0.0};
+  double r2{0.0};  // coefficient of determination in log space
+};
+[[nodiscard]] ExpFit fit_exponential_decay(const std::vector<double>& xs,
+                                           const std::vector<double>& ys);
+
+/// Least-squares fit of the paper's Eq. 7, y ≈ p1 · e^(1/(p2·x)): linear
+/// regression of log(y) on 1/x (slope = 1/p2, intercept = ln p1).
+[[nodiscard]] ExpFit fit_eq7(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Prints the standard bench banner: which paper artifact this harness
+/// regenerates and the substitutions in play.
+void banner(const std::string& artifact, const std::string& notes);
+
+}  // namespace plv::bench

@@ -1,0 +1,89 @@
+// Dynamic-graph demo: the paper argues its dual-hash-table representation
+// "can be generalized to a larger class of graph algorithms ... where the
+// topology of the graph changes very frequently" (Section I-B). This
+// example exercises exactly that: a stream of edge insertions into an
+// evolving community graph, re-running detection after each batch and
+// reporting how the communities respond.
+//
+//   ./dynamic_graph --batches 5 --batch-edges 200
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "core/louvain_par.hpp"
+#include "gen/planted.hpp"
+#include "metrics/partition_utils.hpp"
+#include "metrics/similarity.hpp"
+
+int main(int argc, char** argv) {
+  plv::Cli cli(argc, argv);
+  const int batches = static_cast<int>(cli.get_int("batches", 5));
+  const int batch_edges = static_cast<int>(cli.get_int("batch-edges", 200));
+  const int ranks = static_cast<int>(cli.get_int("ranks", 4));
+
+  // Start from a clear 8-community structure...
+  auto planted = plv::gen::planted_partition(
+      {.communities = 8, .community_size = 32, .p_intra = 0.4, .p_inter = 0.005, .seed = 7});
+  plv::graph::EdgeList edges = planted.edges;
+  const plv::vid_t n = 8 * 32;
+
+  plv::core::ParOptions opts;
+  opts.nranks = ranks;
+
+  auto base = plv::core::louvain_parallel(edges, n, opts);
+  std::cout << "initial: Q=" << base.final_modularity << " communities="
+            << plv::metrics::count_communities(base.final_labels) << '\n';
+
+  // Convert a result's labels into a warm-start seed (labels must live in
+  // vertex-id space: use each community's first member id).
+  auto to_seed = [&](const std::vector<plv::vid_t>& labels) {
+    std::vector<plv::vid_t> first(n, plv::kInvalidVid), seed(n);
+    for (plv::vid_t v = 0; v < n; ++v) {
+      if (first[labels[v]] == plv::kInvalidVid) first[labels[v]] = v;
+      seed[v] = first[labels[v]];
+    }
+    return seed;
+  };
+  auto inner_iters = [](const plv::core::ParResult& r) {
+    std::size_t iters = 0;
+    for (const auto& level : r.levels) iters += level.trace.moved_fraction.size();
+    return iters;
+  };
+
+  // ...then inject random cross-community edges batch by batch, melting
+  // the structure. Communities should merge and modularity decay. After
+  // each batch we re-detect twice: cold (from singletons) and warm (from
+  // the previous partition, the dual-hash design's dynamic-graph payoff).
+  plv::Xoshiro256 rng(99);
+  plv::TextTable table({"batch", "edges", "Q-cold", "Q-warm", "iters-cold",
+                        "iters-warm", "communities", "NMI-vs-initial"});
+  std::vector<plv::vid_t> prev = base.final_labels;
+  for (int b = 1; b <= batches; ++b) {
+    for (int i = 0; i < batch_edges; ++i) {
+      const auto u = static_cast<plv::vid_t>(rng.next_below(n));
+      auto v = static_cast<plv::vid_t>(rng.next_below(n));
+      while (v == u) v = static_cast<plv::vid_t>(rng.next_below(n));
+      edges.add(u, v, 1.0);
+    }
+    const auto cold = plv::core::louvain_parallel(edges, n, opts);
+    const auto warm = plv::core::louvain_parallel_warm(edges, n, to_seed(prev), opts);
+    table.row()
+        .add(b)
+        .add(edges.size())
+        .add(cold.final_modularity)
+        .add(warm.final_modularity)
+        .add(inner_iters(cold))
+        .add(inner_iters(warm))
+        .add(plv::metrics::count_communities(warm.final_labels))
+        .add(plv::metrics::nmi(warm.final_labels, base.final_labels));
+    prev = warm.final_labels;
+  }
+  table.print();
+  std::cout << "\nEach batch of random edges lowers modularity and blurs the\n"
+               "initial communities (NMI decays). The warm restart reaches the\n"
+               "same quality as a cold run in a fraction of the inner\n"
+               "iterations — the dynamic-graph payoff of rebuilding only the\n"
+               "Out_Table while seeding community state from the last run.\n";
+  return 0;
+}

@@ -1,0 +1,227 @@
+// plouvain_cli — a subcommand-driven front end over the whole library,
+// the "downstream user" entry point:
+//
+//   plouvain_cli gen    --kind lfr|bter|rmat|er [params] --out g.txt
+//   plouvain_cli stats  --graph g.txt
+//   plouvain_cli detect --graph g.txt [--engine par|seq|lp] [--ranks N]
+//                       [--resolution G] [--out communities.txt] [--tree t.txt]
+//   plouvain_cli bfs    --graph g.txt --root R [--ranks N]
+//   plouvain_cli cc     --graph g.txt [--ranks N]
+//   plouvain_cli sssp   --graph g.txt --root R [--ranks N]
+//
+// Run with no arguments for usage.
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/bfs.hpp"
+#include "core/components.hpp"
+#include "core/hierarchy.hpp"
+#include "core/louvain_par.hpp"
+#include "core/sssp.hpp"
+#include "gen/bter.hpp"
+#include "gen/er.hpp"
+#include "gen/lfr.hpp"
+#include "gen/rmat.hpp"
+#include "graph/csr.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "metrics/clustering.hpp"
+#include "metrics/modularity.hpp"
+#include "metrics/partition_utils.hpp"
+#include "metrics/quality.hpp"
+#include "seq/label_prop.hpp"
+#include "seq/louvain_seq.hpp"
+
+
+namespace {
+
+int usage() {
+  std::cout <<
+      "plouvain_cli <command> [options]\n"
+      "  gen    --kind lfr|bter|rmat|er --out FILE\n"
+      "         lfr:  --n N --mu F --seed S [--gt FILE]\n"
+      "         bter: --n N --gcc F --seed S\n"
+      "         rmat: --scale K --edge-factor E --seed S\n"
+      "         er:   --n N --m M --seed S\n"
+      "  stats  --graph FILE\n"
+      "  detect --graph FILE [--engine par|seq|lp] [--ranks N]\n"
+      "         [--resolution G] [--out FILE] [--tree FILE] [--warm FILE]\n"
+      "  bfs    --graph FILE --root R [--ranks N]\n"
+      "  cc     --graph FILE [--ranks N]\n"
+      "  sssp   --graph FILE --root R [--ranks N]\n";
+  return 2;
+}
+
+plv::graph::EdgeList load(const plv::Cli& cli) {
+  const auto path = cli.get_string("graph", "");
+  if (path.empty()) throw std::runtime_error("missing --graph");
+  return plv::graph::load_edge_list_text(path);
+}
+
+plv::core::ParOptions par_opts(const plv::Cli& cli) {
+  plv::core::ParOptions opts;
+  opts.nranks = static_cast<int>(cli.get_int("ranks", 4));
+  opts.resolution = cli.get_double("resolution", 1.0);
+  return opts;
+}
+
+int cmd_gen(const plv::Cli& cli) {
+  const auto kind = cli.get_string("kind", "lfr");
+  const auto out = cli.get_string("out", "graph.txt");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  plv::graph::EdgeList edges;
+  if (kind == "lfr") {
+    plv::gen::LfrParams p;
+    p.n = static_cast<plv::vid_t>(cli.get_int("n", 10000));
+    p.mu = cli.get_double("mu", 0.3);
+    p.seed = seed;
+    const auto g = plv::gen::lfr(p);
+    edges = g.edges;
+    if (cli.has("gt")) {
+      plv::graph::save_communities(g.ground_truth, cli.get_string("gt", "gt.txt"));
+    }
+  } else if (kind == "bter") {
+    plv::gen::BterParams p;
+    p.n = static_cast<plv::vid_t>(cli.get_int("n", 10000));
+    p.gcc_target = cli.get_double("gcc", 0.5);
+    p.seed = seed;
+    edges = plv::gen::bter(p).edges;
+  } else if (kind == "rmat") {
+    plv::gen::RmatParams p;
+    p.scale = static_cast<unsigned>(cli.get_int("scale", 14));
+    p.edge_factor = static_cast<unsigned>(cli.get_int("edge-factor", 16));
+    p.seed = seed;
+    edges = plv::gen::rmat(p);
+  } else if (kind == "er") {
+    plv::gen::ErParams p;
+    p.n = static_cast<plv::vid_t>(cli.get_int("n", 10000));
+    p.m = static_cast<std::uint64_t>(cli.get_int("m", 80000));
+    p.seed = seed;
+    edges = plv::gen::erdos_renyi(p);
+  } else {
+    std::cerr << "unknown --kind " << kind << '\n';
+    return 2;
+  }
+  plv::graph::save_edge_list_text(edges, out);
+  std::cout << "wrote " << edges.size() << " edges to " << out << '\n';
+  return 0;
+}
+
+int cmd_stats(const plv::Cli& cli) {
+  const auto edges = load(cli);
+  const auto g = plv::graph::Csr::from_edges(edges);
+  const auto s = plv::graph::graph_stats(g);
+  std::cout << "vertices        " << s.vertices << '\n'
+            << "edges           " << s.undirected_edges << '\n'
+            << "total weight    " << s.total_weight << '\n'
+            << "avg degree      " << s.avg_degree << '\n'
+            << "max degree      " << s.max_degree << '\n'
+            << "isolated        " << s.isolated_vertices << '\n'
+            << "self loops      " << s.self_loops << '\n'
+            << "powerlaw gamma  " << plv::graph::degree_powerlaw_exponent(g) << '\n'
+            << "global CC       " << plv::metrics::global_clustering_coefficient(g)
+            << '\n';
+  return 0;
+}
+
+int cmd_detect(const plv::Cli& cli) {
+  const auto edges = load(cli);
+  const auto engine = cli.get_string("engine", "par");
+  const auto g = plv::graph::Csr::from_edges(edges);
+  plv::WallTimer t;
+  std::vector<plv::vid_t> labels;
+  std::unique_ptr<plv::core::Hierarchy> hierarchy;
+  if (engine == "seq") {
+    plv::seq::SeqOptions opts;
+    opts.resolution = cli.get_double("resolution", 1.0);
+    const auto r = plv::seq::louvain(g, opts);
+    labels = r.final_labels;
+    hierarchy = std::make_unique<plv::core::Hierarchy>(r);
+  } else if (engine == "lp") {
+    labels = plv::seq::label_propagation(g).labels;
+  } else if (engine == "par") {
+    const auto opts = par_opts(cli);
+    plv::core::ParResult r;
+    if (cli.has("warm")) {
+      const auto seed_labels =
+          plv::graph::load_communities(cli.get_string("warm", ""));
+      r = plv::core::louvain_parallel_warm(edges, 0, seed_labels, opts);
+    } else {
+      r = plv::core::louvain_parallel(edges, 0, opts);
+    }
+    labels = r.final_labels;
+    hierarchy = std::make_unique<plv::core::Hierarchy>(r);
+  } else {
+    std::cerr << "unknown --engine " << engine << '\n';
+    return 2;
+  }
+  const double seconds = t.seconds();
+
+  std::cout << "engine       " << engine << '\n'
+            << "seconds      " << seconds << '\n'
+            << "communities  " << plv::metrics::count_communities(labels) << '\n'
+            << "modularity   "
+            << plv::metrics::modularity(g, labels, cli.get_double("resolution", 1.0))
+            << '\n'
+            << "coverage     " << plv::metrics::coverage(g, labels) << '\n'
+            << "mean phi     " << plv::metrics::conductance(g, labels).mean << '\n';
+  if (hierarchy) std::cout << "levels       " << hierarchy->num_levels() << '\n';
+
+  if (cli.has("out")) {
+    plv::graph::save_communities(labels, cli.get_string("out", "communities.txt"));
+  }
+  if (cli.has("tree") && hierarchy) {
+    std::ofstream os(cli.get_string("tree", "tree.txt"));
+    hierarchy->write_tree(os);
+  }
+  return 0;
+}
+
+int cmd_bfs(const plv::Cli& cli) {
+  const auto edges = load(cli);
+  const auto root = static_cast<plv::vid_t>(cli.get_int("root", 0));
+  const auto r = plv::core::bfs_parallel(edges, 0, root, par_opts(cli));
+  std::cout << "reached " << r.reached << " vertices in " << r.rounds << " rounds, "
+            << r.edges_traversed << " edges traversed\n";
+  return 0;
+}
+
+int cmd_cc(const plv::Cli& cli) {
+  const auto edges = load(cli);
+  const auto r = plv::core::connected_components_parallel(edges, 0, par_opts(cli));
+  std::cout << r.num_components << " components in " << r.rounds << " rounds\n";
+  return 0;
+}
+
+int cmd_sssp(const plv::Cli& cli) {
+  const auto edges = load(cli);
+  const auto root = static_cast<plv::vid_t>(cli.get_int("root", 0));
+  const auto r = plv::core::sssp_parallel(edges, 0, root, par_opts(cli));
+  std::cout << "reached " << r.reached << " vertices, " << r.relaxations
+            << " relaxations in " << r.rounds << " rounds\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  plv::Cli cli(argc - 1, argv + 1);
+  try {
+    if (command == "gen") return cmd_gen(cli);
+    if (command == "stats") return cmd_stats(cli);
+    if (command == "detect") return cmd_detect(cli);
+    if (command == "bfs") return cmd_bfs(cli);
+    if (command == "cc") return cmd_cc(cli);
+    if (command == "sssp") return cmd_sssp(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,23 @@
+// Small bit-manipulation helpers used by the hash tables and generators.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace plv {
+
+/// Smallest power of two >= x (x = 0 maps to 1).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  return x <= 1 ? 1 : std::bit_ceil(x);
+}
+
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && std::has_single_bit(x);
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  return 63U - static_cast<unsigned>(std::countl_zero(x | 1));
+}
+
+}  // namespace plv

@@ -1,0 +1,106 @@
+// Fixed-bin histograms and quantile selection.
+//
+// The parallel Louvain heuristic (Section IV-B) turns the vertex-fraction
+// threshold ε into a modularity-gain cutoff ΔQ̂ by histogramming per-vertex
+// best gains and selecting the smallest cutoff that keeps the top-ε mass.
+// Histograms reduce across ranks by element-wise addition, so the global
+// cutoff costs one allreduce instead of a distributed sort.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace plv {
+
+/// Equal-width histogram over [lo, hi] with a configurable bin count.
+/// Values outside the range clamp to the end bins, so the total count is
+/// always the number of inserted samples.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0) {
+    assert(hi >= lo);
+  }
+
+  void add(double value, std::uint64_t count = 1) noexcept {
+    counts_[bin_of(value)] += count;
+  }
+
+  [[nodiscard]] std::size_t bin_of(double value) const noexcept {
+    if (!(value > lo_)) return 0;  // also catches NaN
+    if (value >= hi_) return counts_.size() - 1;
+    const double t = (value - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+    return std::min(idx, counts_.size() - 1);
+  }
+
+  /// Lower edge of bin `i`.
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (auto c : counts_) sum += c;
+    return sum;
+  }
+
+  /// Smallest bin lower-edge t such that the mass in bins >= t is at most
+  /// `fraction` of the total — i.e. a cutoff that selects (approximately)
+  /// the top-`fraction` samples. With fraction >= 1 returns lo().
+  [[nodiscard]] double top_fraction_cutoff(double fraction) const noexcept {
+    const std::uint64_t n = total();
+    if (n == 0 || fraction >= 1.0) return lo_;
+    const auto budget = static_cast<std::uint64_t>(
+        std::ceil(fraction * static_cast<double>(n)));
+    std::uint64_t kept = 0;
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+      kept += counts_[i];
+      if (kept > budget) {
+        // Bin i overshoots: cut at the *upper* edge of bin i (keep bins above).
+        return bin_lo(i + 1 == counts_.size() ? counts_.size() - 1 : i + 1);
+      }
+      if (kept == budget) return bin_lo(i);
+    }
+    return lo_;
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t>& counts() noexcept { return counts_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Simple running summary statistics (count / mean / min / max).
+struct Summary {
+  std::uint64_t count{0};
+  double sum{0.0};
+  double min{0.0};
+  double max{0.0};
+
+  void add(double x) noexcept {
+    if (count == 0) {
+      min = max = x;
+    } else {
+      min = std::min(min, x);
+      max = std::max(max, x);
+    }
+    sum += x;
+    ++count;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+}  // namespace plv

@@ -1,0 +1,77 @@
+// Result types shared by the sequential baseline and the parallel engine.
+//
+// Both produce the same artifact shape — a hierarchy of levels, each with
+// its partition, modularity and inner-loop traces — so the quality benches
+// (Fig. 4/5, Table III) can compare them row by row.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace plv {
+
+/// Per-inner-iteration telemetry of one hierarchy level. `moved_fraction`
+/// is the fraction of the level's vertices that changed community in that
+/// iteration — the quantity the paper's Fig. 2 plots against iteration
+/// number to motivate the exponential threshold.
+struct LevelTrace {
+  std::vector<double> moved_fraction;
+  std::vector<double> modularity;  // after each inner iteration
+  // Sequential-engine extra (only filled when SeqOptions::prune is on):
+  std::vector<double> evaluated_fraction;  // vertices examined per sweep
+  // Parallel engine extras (empty for the sequential baseline):
+  std::vector<double> epsilon;         // ε(iter) used by the heuristic
+  std::vector<double> gain_cutoff;     // the ΔQ̂ the histogram selected
+  std::vector<double> find_seconds;    // FIND BEST COMMUNITY, per iteration
+  std::vector<double> update_seconds;  // UPDATE COMMUNITY INFORMATION
+  std::vector<double> prop_seconds;    // STATE PROPAGATION
+};
+
+/// One hierarchy level (one outer-loop round).
+struct LouvainLevel {
+  vid_t num_vertices{0};           // vertex count of this level's graph
+  std::size_t num_communities{0};  // communities found at this level
+  std::vector<vid_t> labels;       // community per level-vertex, dense 0..k-1
+  double modularity{0.0};
+  double seconds{0.0};             // wall time of this level (refine + rebuild)
+  LevelTrace trace;
+};
+
+/// Full run output. `final_labels[v]` is the top-level community of
+/// original vertex v (the composition of all level partitions).
+struct LouvainResult {
+  std::vector<LouvainLevel> levels;
+  std::vector<vid_t> final_labels;
+  double final_modularity{0.0};
+  PhaseTimers timers;
+
+  [[nodiscard]] std::size_t num_levels() const noexcept { return levels.size(); }
+
+  /// Labels of original vertices after `level + 1` coarsening rounds.
+  [[nodiscard]] std::vector<vid_t> labels_at_level(std::size_t level) const {
+    std::vector<vid_t> out(levels.empty() ? 0 : levels.front().labels.size());
+    for (std::size_t v = 0; v < out.size(); ++v) {
+      vid_t c = static_cast<vid_t>(v);
+      for (std::size_t l = 0; l <= level && l < levels.size(); ++l) {
+        c = levels[l].labels[c];
+      }
+      out[v] = c;
+    }
+    return out;
+  }
+};
+
+/// Phase names matching the paper's Fig. 8 legend; both engines report
+/// timings under these keys.
+namespace phase {
+inline constexpr const char* kStatePropagation = "STATE PROPAGATION";
+inline constexpr const char* kFindBestCommunity = "FIND BEST COMMUNITY";
+inline constexpr const char* kUpdateCommunity = "UPDATE COMMUNITY INFORMATION";
+inline constexpr const char* kRefine = "REFINE";
+inline constexpr const char* kGraphReconstruction = "GRAPH RECONSTRUCTION";
+}  // namespace phase
+
+}  // namespace plv

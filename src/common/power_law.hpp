@@ -1,0 +1,70 @@
+// Discrete bounded power-law sampling.
+//
+// Both synthetic-graph substrates the paper evaluates with need it: LFR
+// draws vertex degrees (exponent γ) and community sizes (exponent β) from
+// bounded power laws; BTER consumes a power-law degree distribution.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace plv {
+
+/// Samples integers k in [kmin, kmax] with P(k) ∝ k^(-exponent), by inverse
+/// transform over the precomputed CDF. Exponent may be any real >= 0
+/// (0 gives the uniform distribution over the range).
+class PowerLawSampler {
+ public:
+  PowerLawSampler(std::uint32_t kmin, std::uint32_t kmax, double exponent)
+      : kmin_(kmin), kmax_(kmax) {
+    assert(kmin >= 1 && kmax >= kmin);
+    cdf_.reserve(kmax - kmin + 1);
+    double acc = 0.0;
+    for (std::uint32_t k = kmin; k <= kmax; ++k) {
+      acc += std::pow(static_cast<double>(k), -exponent);
+      cdf_.push_back(acc);
+    }
+    for (double& c : cdf_) c /= acc;
+    cdf_.back() = 1.0;  // guard against rounding
+  }
+
+  [[nodiscard]] std::uint32_t operator()(Xoshiro256& rng) const noexcept {
+    const double u = rng.next_double();
+    // Binary search for the first cdf entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return kmin_ + static_cast<std::uint32_t>(lo);
+  }
+
+  /// Expected value of the distribution (exact, from the CDF weights).
+  [[nodiscard]] double mean() const noexcept {
+    double m = 0.0;
+    double prev = 0.0;
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      m += static_cast<double>(kmin_ + i) * (cdf_[i] - prev);
+      prev = cdf_[i];
+    }
+    return m;
+  }
+
+  [[nodiscard]] std::uint32_t kmin() const noexcept { return kmin_; }
+  [[nodiscard]] std::uint32_t kmax() const noexcept { return kmax_; }
+
+ private:
+  std::uint32_t kmin_;
+  std::uint32_t kmax_;
+  std::vector<double> cdf_;  // cdf_[i] = P(K <= kmin_ + i)
+};
+
+}  // namespace plv

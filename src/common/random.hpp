@@ -1,0 +1,109 @@
+// Deterministic, fast pseudo-random generators.
+//
+// All stochastic components (generators, tie-breaking, sampling) draw from
+// these so that a fixed seed yields bit-identical runs — a property the
+// test suite relies on (DESIGN.md, decision 5).
+#pragma once
+
+#include <cstdint>
+
+namespace plv {
+
+/// SplitMix64: used to seed other generators and as a cheap stateless mixer.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a 64-bit value (same permutation as splitmix64 minus
+/// the counter). Useful for hashing seeds with indices.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Top-quality 64-bit generator with
+/// a tiny state; our workhorse RNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    // Seed the four words via splitmix64 as recommended by the authors.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). 53 significant bits.
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Unbiased uniform integer in [0, bound). Lemire's rejection method.
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // Multiply-shift with rejection of the biased low region.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t x = (*this)();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Jump: advances 2^128 steps, giving a disjoint stream. Used to hand
+  /// independent substreams to parallel ranks without re-seeding.
+  constexpr void jump() noexcept {
+    constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                       0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t jump : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump & (1ULL << b)) {
+          s0 ^= state_[0];
+          s1 ^= state_[1];
+          s2 ^= state_[2];
+          s3 ^= state_[3];
+        }
+        (*this)();
+      }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace plv

@@ -1,0 +1,75 @@
+// Fixed-width text table printer.
+//
+// The bench harnesses print one table per paper table/figure; this keeps
+// their output aligned and diff-friendly without a formatting dependency.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace plv {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  /// Starts a new row; chain add() calls to fill cells.
+  TextTable& row() {
+    rows_.emplace_back();
+    return *this;
+  }
+
+  TextTable& add(std::string cell) {
+    rows_.back().push_back(std::move(cell));
+    return *this;
+  }
+
+  TextTable& add(const char* cell) { return add(std::string(cell)); }
+
+  TextTable& add(double value, int precision = 4) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return add(os.str());
+  }
+
+  template <typename Int>
+    requires std::integral<Int>
+  TextTable& add(Int value) {
+    return add(std::to_string(value));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    print_row(os, header_, widths);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 3;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(os, row, widths);
+    os.flush();
+  }
+
+ private:
+  static void print_row(std::ostream& os, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell << "   ";
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace plv

@@ -1,0 +1,104 @@
+// Wall-clock timers and named phase accumulators.
+//
+// The paper's Fig. 8 breaks execution into phases (REFINE, GRAPH
+// RECONSTRUCTION, FIND BEST COMMUNITY, UPDATE COMMUNITY INFORMATION,
+// STATE PROPAGATION). PhaseTimers accumulates per-phase wall time with
+// the same phase names so the bench harness can print the same rows.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace plv {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time into named phases. Phase names are interned on
+/// first use; lookup is linear, which is fine for the handful of phases
+/// the algorithm has (and keeps this header dependency-free).
+class PhaseTimers {
+ public:
+  /// Adds `seconds` to phase `name`.
+  void add(std::string_view name, double seconds) {
+    entry(name).second += seconds;
+  }
+
+  /// Total accumulated for `name` (0 if never seen).
+  [[nodiscard]] double get(std::string_view name) const noexcept {
+    for (const auto& [phase, secs] : phases_) {
+      if (phase == name) return secs;
+    }
+    return 0.0;
+  }
+
+  /// Sum over all phases.
+  [[nodiscard]] double total() const noexcept {
+    double sum = 0.0;
+    for (const auto& [phase, secs] : phases_) sum += secs;
+    return sum;
+  }
+
+  /// Merge another accumulator into this one (used to reduce per-rank
+  /// timers into a single report).
+  void merge(const PhaseTimers& other) {
+    for (const auto& [phase, secs] : other.phases_) entry(phase).second += secs;
+  }
+
+  /// Scale every phase by `factor` (e.g. 1/nranks for a mean).
+  void scale(double factor) noexcept {
+    for (auto& [phase, secs] : phases_) secs *= factor;
+  }
+
+  void clear() noexcept { phases_.clear(); }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& items() const noexcept {
+    return phases_;
+  }
+
+ private:
+  std::pair<std::string, double>& entry(std::string_view name) {
+    for (auto& item : phases_) {
+      if (item.first == name) return item;
+    }
+    return phases_.emplace_back(std::string(name), 0.0);
+  }
+
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// RAII helper: adds the scope's elapsed wall time to a phase on exit.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, std::string_view name) noexcept
+      : timers_(timers), name_(name) {}
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() { timers_.add(name_, timer_.seconds()); }
+
+ private:
+  PhaseTimers& timers_;
+  std::string_view name_;
+  WallTimer timer_;
+};
+
+}  // namespace plv

@@ -1,0 +1,157 @@
+#include "core/bfs.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+#include "pml/aggregator.hpp"
+
+namespace plv::core {
+
+namespace {
+
+/// Frontier record: "u (at the current depth) reaches v".
+struct VisitMsg {
+  vid_t v;
+  vid_t u;
+};
+
+BfsResult bfs_rank(pml::Comm& comm, const graph::EdgeList& edges, vid_t n, vid_t root,
+                   const ParOptions& opts) {
+  const graph::Partition1D part(opts.partition, n, comm.nranks());
+  const int me = comm.rank();
+  const vid_t local_n = part.local_count(me);
+
+  // Per-owned adjacency (BFS wants to expand owned frontier vertices).
+  // Parallel edges merge — BFS is topological, and deduplication keeps the
+  // traversal accounting aligned with the CSR-based reference.
+  std::vector<std::vector<vid_t>> adj(local_n);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    if (part.owner(e.u) == me) adj[part.to_local(e.u)].push_back(e.v);
+    if (part.owner(e.v) == me) adj[part.to_local(e.v)].push_back(e.u);
+  }
+  for (auto& row : adj) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+
+  std::vector<vid_t> depth(local_n, kInvalidVid);
+  std::vector<vid_t> parent(local_n, kInvalidVid);
+  std::vector<vid_t> frontier;
+  if (part.owner(root) == me) {
+    const vid_t l = part.to_local(root);
+    depth[l] = 0;
+    parent[l] = root;
+    frontier.push_back(l);
+  }
+
+  BfsResult result;
+  std::uint64_t local_edges = 0;
+  for (vid_t level = 0;; ++level) {
+    ++result.rounds;
+    pml::Aggregator<VisitMsg> agg(comm, opts.aggregator_capacity);
+    for (vid_t l : frontier) {
+      const vid_t u = part.to_global(me, l);
+      for (vid_t v : adj[l]) {
+        agg.push(part.owner(v), VisitMsg{v, u});
+        ++local_edges;
+      }
+    }
+    agg.flush_all();
+    std::vector<vid_t> next;
+    comm.drain_until_quiescent<VisitMsg>([&](int, std::span<const VisitMsg> msgs) {
+      for (const VisitMsg& m : msgs) {
+        const vid_t l = part.to_local(m.v);
+        if (depth[l] == kInvalidVid) {
+          depth[l] = level + 1;
+          parent[l] = m.u;
+          next.push_back(l);
+        } else if (depth[l] == level + 1 && m.u < parent[l]) {
+          parent[l] = m.u;  // deterministic min-parent at equal depth
+        }
+      }
+    });
+    frontier = std::move(next);
+    const std::uint64_t frontier_total =
+        comm.allreduce_sum(static_cast<std::uint64_t>(frontier.size()));
+    if (frontier_total == 0) break;
+  }
+
+  // Gather full arrays (identical on every rank afterwards).
+  struct Entry {
+    vid_t v;
+    vid_t parent;
+    vid_t depth;
+  };
+  std::vector<Entry> mine(local_n);
+  for (vid_t l = 0; l < local_n; ++l) {
+    mine[l] = {part.to_global(me, l), parent[l], depth[l]};
+  }
+  const auto all = comm.allgatherv(mine);
+  result.parent.assign(n, kInvalidVid);
+  result.depth.assign(n, kInvalidVid);
+  for (const Entry& e : all) {
+    result.parent[e.v] = e.parent;
+    result.depth[e.v] = e.depth;
+    if (e.depth != kInvalidVid) ++result.reached;
+  }
+  result.edges_traversed = comm.allreduce_sum(local_edges);
+  return result;
+}
+
+}  // namespace
+
+BfsResult bfs_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t root,
+                       const ParOptions& opts) {
+  const vid_t n = std::max(n_vertices, edges.vertex_count());
+  BfsResult result;
+  if (n == 0 || root >= n) return result;
+  std::mutex mutex;
+  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
+    BfsResult local = bfs_rank(comm, edges, n, root, opts);
+    if (comm.rank() == 0) {
+      std::scoped_lock lock(mutex);
+      result = std::move(local);
+    }
+  });
+  return result;
+}
+
+BfsResult bfs_seq(const graph::EdgeList& edges, vid_t n_vertices, vid_t root) {
+  const vid_t n = std::max(n_vertices, edges.vertex_count());
+  BfsResult result;
+  if (n == 0 || root >= n) return result;
+  const auto g = graph::Csr::from_edges(edges, n);
+
+  result.parent.assign(n, kInvalidVid);
+  result.depth.assign(n, kInvalidVid);
+  result.depth[root] = 0;
+  result.parent[root] = root;
+  result.reached = 1;
+  std::queue<vid_t> queue;
+  queue.push(root);
+  int max_depth = 0;
+  while (!queue.empty()) {
+    const vid_t u = queue.front();
+    queue.pop();
+    g.for_each_neighbor(u, [&](vid_t v, weight_t) {
+      if (v == u) return;
+      ++result.edges_traversed;
+      if (result.depth[v] == kInvalidVid) {
+        result.depth[v] = result.depth[u] + 1;
+        result.parent[v] = u;
+        max_depth = std::max(max_depth, static_cast<int>(result.depth[v]));
+        ++result.reached;
+        queue.push(v);
+      } else if (result.depth[v] == result.depth[u] + 1 && u < result.parent[v]) {
+        result.parent[v] = u;  // same min-parent rule as the parallel version
+      }
+    });
+  }
+  result.rounds = max_depth + 1;
+  return result;
+}
+
+}  // namespace plv::core

@@ -1,0 +1,36 @@
+// Distributed breadth-first search on the pml runtime.
+//
+// The paper's messaging layer was originally engineered for Graph500-style
+// BFS ("Traversing Trillions of Edges in Real-time", ref [27]) and SSSP
+// (ref [28]); Louvain inherits it. Providing BFS on the same ownership and
+// aggregation machinery both validates the substrate and gives users the
+// companion traversal primitive: level-synchronous frontier expansion with
+// per-destination coalescing, the same 1-D partition, and TEPS accounting.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+
+namespace plv::core {
+
+struct BfsResult {
+  std::vector<vid_t> parent;  // kInvalidVid when unreached (root's parent = root)
+  std::vector<vid_t> depth;   // kInvalidVid when unreached
+  vid_t reached{0};           // vertices visited (including the root)
+  ecount_t edges_traversed{0};
+  int rounds{0};              // frontier-expansion rounds
+};
+
+/// Level-synchronous BFS from `root` over `opts.nranks` ranks.
+/// Deterministic: among same-depth candidates, the smallest parent wins.
+[[nodiscard]] BfsResult bfs_parallel(const graph::EdgeList& edges, vid_t n_vertices,
+                                     vid_t root, const ParOptions& opts);
+
+/// Sequential reference BFS (queue-based) with the same tie-break rule.
+[[nodiscard]] BfsResult bfs_seq(const graph::EdgeList& edges, vid_t n_vertices,
+                                vid_t root);
+
+}  // namespace plv::core

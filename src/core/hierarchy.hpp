@@ -1,0 +1,65 @@
+// Hierarchy navigation and export.
+//
+// The paper stresses that — unlike most parallel competitors (Section VI:
+// "All those algorithms fail to unfold the hierarchical organization") —
+// its algorithm produces the full multi-level community structure. This
+// module makes that structure usable: per-level membership queries, the
+// community tree, and the classic Blondel "tree" text format for
+// interoperability with the original Louvain tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/louvain.hpp"
+#include "common/types.hpp"
+
+namespace plv::core {
+
+/// One node of the community tree: a community at some level.
+struct TreeNode {
+  std::size_t level{0};      // 0 = first coarsening
+  vid_t community{0};        // dense id within that level
+  vid_t parent{kInvalidVid}; // community at level+1 containing this one
+  std::uint64_t size{0};     // original vertices contained
+};
+
+class Hierarchy {
+ public:
+  /// Builds the navigation structure from a (sequential or parallel)
+  /// Louvain result over `n` original vertices.
+  explicit Hierarchy(const LouvainResult& result);
+
+  [[nodiscard]] std::size_t num_levels() const noexcept { return levels_.size(); }
+  [[nodiscard]] vid_t num_vertices() const noexcept { return n_; }
+
+  /// Number of communities at `level`.
+  [[nodiscard]] std::size_t communities_at(std::size_t level) const;
+
+  /// Labels of the *original* vertices at `level` (composition of all
+  /// coarsenings up to and including it).
+  [[nodiscard]] const std::vector<vid_t>& labels_at(std::size_t level) const;
+
+  /// Original vertices belonging to community `c` of `level`.
+  [[nodiscard]] std::vector<vid_t> members(std::size_t level, vid_t c) const;
+
+  /// The community at `level + 1` that contains community `c` of `level`
+  /// (kInvalidVid at the top level).
+  [[nodiscard]] vid_t parent_of(std::size_t level, vid_t c) const;
+
+  /// All tree nodes, level by level.
+  [[nodiscard]] std::vector<TreeNode> tree() const;
+
+  /// Writes the Blondel tree format: one "node parent" pair per line,
+  /// levels concatenated, original vertices first. Compatible with the
+  /// reference implementation's hierarchy tools.
+  void write_tree(std::ostream& os) const;
+
+ private:
+  vid_t n_{0};
+  std::vector<std::vector<vid_t>> level_labels_;  // per level: label per level-vertex
+  std::vector<std::vector<vid_t>> levels_;        // per level: label per ORIGINAL vertex
+};
+
+}  // namespace plv::core

@@ -1,0 +1,713 @@
+#include "core/louvain_par.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/histogram.hpp"
+#include "common/timer.hpp"
+#include "hashing/edge_table.hpp"
+#include "pml/aggregator.hpp"
+
+namespace plv::core {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire records. All 16 bytes, trivially copyable, no padding surprises.
+// ---------------------------------------------------------------------------
+
+/// STATE PROPAGATION: tells owner(v) that the in-edge (v,u) now points at
+/// community c, i.e. Out_Table[(v,c)] += w (paper Algorithm 3).
+struct PropMsg {
+  vid_t v;
+  vid_t c;
+  weight_t w;
+};
+
+/// UPDATE: Σtot / member-count delta for community c, applied by owner(c).
+struct DeltaMsg {
+  vid_t c;
+  std::int32_t dcount;
+  weight_t dtot;
+};
+
+/// Σin contribution for community c (Algorithm 4 lines 18-20).
+struct SinMsg {
+  vid_t c;
+  std::int32_t pad{0};
+  weight_t w;
+};
+
+/// Reply record of the Σtot fetch: community totals plus member count.
+/// The member count feeds the singleton-swap guard (see
+/// find_best_community); it is a consistent snapshot of the previous
+/// iteration's state, like Σtot itself.
+struct SigmaRep {
+  weight_t sigma_tot;
+  std::int64_t members;
+};
+
+/// GRAPH RECONSTRUCTION: coarse in-edge (src → dst) of weight w, delivered
+/// to owner(dst) (paper Algorithm 5). Ids are already dense next-level ids.
+struct EdgeMsg {
+  vid_t src;
+  vid_t dst;
+  weight_t w;
+};
+
+/// Level-label gather: level vertex v belongs to dense community c.
+struct LabelPair {
+  vid_t v;
+  vid_t c;
+};
+
+static_assert(sizeof(PropMsg) == 16 && sizeof(DeltaMsg) == 16 && sizeof(SinMsg) == 16 &&
+              sizeof(EdgeMsg) == 16);
+
+/// Per-community bookkeeping held by the community's owner.
+struct CommInfo {
+  weight_t sigma_tot{0};
+  weight_t sigma_in{0};
+  std::int64_t members{0};
+};
+
+// ---------------------------------------------------------------------------
+// One rank's view of one level plus the phase machinery.
+// ---------------------------------------------------------------------------
+
+class RankEngine {
+ public:
+  RankEngine(pml::Comm& comm, const ParOptions& opts)
+      : comm_(comm),
+        opts_(opts),
+        part_(opts.partition, 0, comm.nranks()),
+        in_table_(0, opts.table_max_load, opts.hash),
+        out_table_(0, opts.table_max_load, opts.hash) {}
+
+  /// Builds level 0 from the (shared, read-only) global edge list.
+  void init_from_edges(const graph::EdgeList& edges, vid_t n) {
+    part_ = graph::Partition1D(opts_.partition, n, comm_.nranks());
+    n_level_ = n;
+    in_table_.clear();
+    in_table_.reserve(2 * edges.size() / static_cast<std::size_t>(comm_.nranks()) + 16);
+    const int me = comm_.rank();
+    for (const Edge& e : edges) {
+      if (e.u == e.v) {
+        if (part_.owner(e.u) == me) {
+          in_table_.insert_or_add(pack_key(e.u, e.u), 2 * e.w);  // A(u,u) = 2w
+        }
+        continue;
+      }
+      if (part_.owner(e.v) == me) in_table_.insert_or_add(pack_key(e.u, e.v), e.w);
+      if (part_.owner(e.u) == me) in_table_.insert_or_add(pack_key(e.v, e.u), e.w);
+    }
+    init_level_state();
+    two_m_ = comm_.allreduce_sum(local_strength_sum());
+  }
+
+  /// Re-seeds the community state from a prior partition (warm start).
+  /// Must run after init_from_edges/init_from_slice: ownership arrays are
+  /// already in place; only labels and the community store change.
+  void warm_start(const std::vector<vid_t>& initial_labels) {
+    assert(initial_labels.size() >= n_level_);
+    const int me = comm_.rank();
+    for (vid_t l = 0; l < static_cast<vid_t>(label_.size()); ++l) {
+      label_[l] = initial_labels[part_.to_global(me, l)];
+      assert(label_[l] < n_level_);
+    }
+    // Rebuild Σtot / member counts at the community owners.
+    comms_.clear();
+    std::vector<std::vector<DeltaMsg>> deltas(static_cast<std::size_t>(comm_.nranks()));
+    for (vid_t l = 0; l < static_cast<vid_t>(label_.size()); ++l) {
+      deltas[static_cast<std::size_t>(part_.owner(label_[l]))].push_back(
+          DeltaMsg{label_[l], +1, strength_[l]});
+    }
+    const auto incoming = comm_.exchange(deltas);
+    for (const DeltaMsg& d : incoming) {
+      CommInfo& info = comms_[d.c];
+      info.sigma_tot += d.dtot;
+      info.members += d.dcount;
+    }
+  }
+
+  /// Builds level 0 from this rank's slice of a distributed edge stream:
+  /// every In_Table entry is routed to its owner through the aggregators,
+  /// so no rank ever materializes the global edge list.
+  void init_from_slice(const graph::EdgeList& slice, vid_t n) {
+    part_ = graph::Partition1D(opts_.partition, n, comm_.nranks());
+    n_level_ = n;
+    in_table_.clear();
+    in_table_.reserve(2 * slice.size() / static_cast<std::size_t>(comm_.nranks()) + 16);
+    pml::Aggregator<EdgeMsg> agg(comm_, opts_.aggregator_capacity);
+    for (const Edge& e : slice) {
+      if (e.u == e.v) {
+        agg.push(part_.owner(e.u), EdgeMsg{e.u, e.u, 2 * e.w});
+        continue;
+      }
+      agg.push(part_.owner(e.v), EdgeMsg{e.u, e.v, e.w});
+      agg.push(part_.owner(e.u), EdgeMsg{e.v, e.u, e.w});
+    }
+    agg.flush_all();
+    comm_.drain_until_quiescent<EdgeMsg>([&](int, std::span<const EdgeMsg> msgs) {
+      for (const EdgeMsg& m : msgs) {
+        in_table_.insert_or_add(pack_key(m.src, m.dst), m.w);
+      }
+    });
+    init_level_state();
+    two_m_ = comm_.allreduce_sum(local_strength_sum());
+  }
+
+  /// One full level: propagation, refine (inner loop), reconstruction.
+  /// Returns the level artifact (identical on every rank). Sets
+  /// `compressed` to false when nothing merged.
+  LouvainLevel run_level(bool& compressed) {
+    WallTimer level_timer;
+    LouvainLevel level;
+    level.num_vertices = n_level_;
+
+    {
+      ScopedPhase sp(timers_, phase::kStatePropagation);
+      state_propagation();
+    }
+    compute_sigma_in();
+    double q = global_modularity();
+
+    {
+      ScopedPhase sp(timers_, phase::kRefine);
+      q = refine(level, q);
+    }
+
+    level.modularity = q;
+
+    // Dense relabeling must happen before reconstruction so both the
+    // reported labels and the next level's In_Table use the same ids.
+    const std::vector<vid_t> relabel_keys = gather_surviving_communities();
+    std::unordered_map<vid_t, vid_t> dense;
+    dense.reserve(relabel_keys.size() * 2);
+    for (std::size_t i = 0; i < relabel_keys.size(); ++i) {
+      dense.emplace(relabel_keys[i], static_cast<vid_t>(i));
+    }
+    level.num_communities = relabel_keys.size();
+    level.labels = gather_level_labels(dense);
+
+    {
+      ScopedPhase sp(timers_, phase::kGraphReconstruction);
+      graph_reconstruction(dense, static_cast<vid_t>(relabel_keys.size()));
+    }
+
+    compressed = static_cast<vid_t>(relabel_keys.size()) < level.num_vertices;
+    level.seconds = level_timer.seconds();
+    return level;
+  }
+
+  [[nodiscard]] const PhaseTimers& timers() const noexcept { return timers_; }
+  [[nodiscard]] weight_t two_m() const noexcept { return two_m_; }
+  [[nodiscard]] vid_t level_vertex_count() const noexcept { return n_level_; }
+
+ private:
+  // -- level state ----------------------------------------------------------
+
+  /// Derives per-vertex arrays and community bookkeeping from In_Table.
+  void init_level_state() {
+    const vid_t local_n = part_.local_count(comm_.rank());
+    strength_.assign(local_n, 0.0);
+    self_loop_.assign(local_n, 0.0);
+    label_.resize(local_n);
+    best_.assign(local_n, kInvalidVid);
+    gain_.assign(local_n, 0.0);
+    stay_score_.assign(local_n, 0.0);
+    for (vid_t l = 0; l < local_n; ++l) {
+      label_[l] = part_.to_global(comm_.rank(), l);
+    }
+    in_table_.for_each([&](std::uint64_t key, weight_t w) {
+      const vid_t u = key_lo(key);
+      const vid_t v = key_hi(key);
+      const vid_t l = part_.to_local(u);
+      strength_[l] += w;
+      if (v == u) self_loop_[l] = w;
+    });
+    comms_.clear();
+    comms_.reserve(local_n * 2);
+    for (vid_t l = 0; l < local_n; ++l) {
+      const vid_t u = part_.to_global(comm_.rank(), l);
+      comms_.emplace(u, CommInfo{strength_[l], 0.0, 1});
+    }
+    out_table_.clear();
+    out_table_.reserve(in_table_.size() + 16);
+  }
+
+  [[nodiscard]] weight_t local_strength_sum() const noexcept {
+    weight_t s = 0;
+    for (weight_t k : strength_) s += k;
+    return s;
+  }
+
+  // -- STATE PROPAGATION (Algorithm 3) --------------------------------------
+
+  void state_propagation() {
+    out_table_.clear();
+    pml::Aggregator<PropMsg> agg(comm_, opts_.aggregator_capacity);
+    in_table_.for_each([&](std::uint64_t key, weight_t w) {
+      const vid_t v = key_hi(key);
+      const vid_t u = key_lo(key);  // owned
+      agg.push(part_.owner(v), PropMsg{v, label_[part_.to_local(u)], w});
+    });
+    agg.flush_all();
+    comm_.drain_until_quiescent<PropMsg>([&](int /*src*/, std::span<const PropMsg> msgs) {
+      for (const PropMsg& m : msgs) {
+        out_table_.insert_or_add(pack_key(m.v, m.c), m.w);
+      }
+    });
+  }
+
+  // -- FIND BEST COMMUNITY (Algorithm 4 lines 6-9) --------------------------
+
+  /// Fetches Σtot for every community referenced by this rank's Out_Table
+  /// (request/reply to the owners), then scans the table to fill
+  /// best_/gain_ per owned vertex.
+  void find_best_community() {
+    // 1. Collect referenced communities (+ every owned vertex's own).
+    std::unordered_set<vid_t> needed;
+    needed.reserve(out_table_.size() / 4 + label_.size());
+    out_table_.for_each([&](std::uint64_t key, weight_t) { needed.insert(key_lo(key)); });
+    for (vid_t c : label_) needed.insert(c);
+
+    std::vector<vid_t> sorted(needed.begin(), needed.end());
+    std::sort(sorted.begin(), sorted.end());  // determinism of request order
+
+    std::vector<std::vector<vid_t>> requests(static_cast<std::size_t>(comm_.nranks()));
+    for (vid_t c : sorted) requests[static_cast<std::size_t>(part_.owner(c))].push_back(c);
+
+    const auto incoming = comm_.exchange_grouped(requests);
+    std::vector<std::vector<SigmaRep>> replies(static_cast<std::size_t>(comm_.nranks()));
+    for (int r = 0; r < comm_.nranks(); ++r) {
+      const auto& reqs = incoming[static_cast<std::size_t>(r)];
+      auto& rep = replies[static_cast<std::size_t>(r)];
+      rep.reserve(reqs.size());
+      for (vid_t c : reqs) {
+        const auto it = comms_.find(c);
+        rep.push_back(it == comms_.end() ? SigmaRep{0, 0}
+                                         : SigmaRep{it->second.sigma_tot,
+                                                    it->second.members});
+      }
+    }
+    const auto answered = comm_.exchange_grouped(replies);
+
+    sigma_cache_.clear();
+    sigma_cache_.reserve(sorted.size() * 2);
+    for (int r = 0; r < comm_.nranks(); ++r) {
+      const auto& reqs = requests[static_cast<std::size_t>(r)];
+      const auto& vals = answered[static_cast<std::size_t>(r)];
+      assert(reqs.size() == vals.size());
+      for (std::size_t i = 0; i < reqs.size(); ++i) sigma_cache_.emplace(reqs[i], vals[i]);
+    }
+
+    // 2. Initialize with the stay score, then scan Out_Table for joins.
+    //    Comparing joins by (w_uc − Σtot_c·k_u/2m) is equivalent to
+    //    comparing ΔQ (metrics/modularity.hpp); the final gain is the
+    //    join-vs-stay difference rescaled to true ΔQ units.
+    const vid_t local_n = static_cast<vid_t>(label_.size());
+    for (vid_t l = 0; l < local_n; ++l) {
+      const vid_t cu = label_[l];
+      const vid_t u = part_.to_global(comm_.rank(), l);
+      const weight_t w_stay =
+          out_table_.find(pack_key(u, cu)).value_or(0.0) - self_loop_[l];
+      stay_score_[l] = w_stay - opts_.resolution *
+                                    (sigma_cache_.at(cu).sigma_tot - strength_[l]) *
+                                    strength_[l] / two_m_;
+      best_[l] = cu;
+      gain_[l] = 0.0;
+    }
+    // best_score starts equal to stay_score; track it in gain_ scaled later.
+    std::vector<double> best_score(stay_score_);
+
+    out_table_.for_each([&](std::uint64_t key, weight_t w) {
+      const vid_t u = key_hi(key);
+      const vid_t c = key_lo(key);
+      const vid_t l = part_.to_local(u);
+      const vid_t cu = label_[l];
+      if (c == cu) return;
+      const SigmaRep& target = sigma_cache_.at(c);
+      // Singleton-swap guard (Lu et al. [11], cited by the paper): when a
+      // lone vertex considers joining another singleton community, only
+      // the smaller-labeled side may move. Without it, synchronous
+      // updates let pairs of singletons swap communities forever — the
+      // oscillation Section III warns about.
+      if (target.members == 1 && sigma_cache_.at(cu).members == 1 && c > cu) return;
+      const double score =
+          w - opts_.resolution * target.sigma_tot * strength_[l] / two_m_;
+      if (score > best_score[l] + 1e-15 ||
+          (score > best_score[l] - 1e-15 && c < best_[l])) {
+        best_score[l] = score;
+        best_[l] = c;
+      }
+    });
+    for (vid_t l = 0; l < local_n; ++l) {
+      gain_[l] =
+          best_[l] == label_[l] ? 0.0 : 2.0 * (best_score[l] - stay_score_[l]) / two_m_;
+    }
+  }
+
+  // -- threshold selection (Section IV-B) -----------------------------------
+
+  /// Translates ε(iter) into the global gain cutoff ΔQ̂ via an allreduced
+  /// histogram of positive gains.
+  [[nodiscard]] double gain_cutoff(int iter, double& eps_out) {
+    const double eps = epsilon_of(opts_.threshold, opts_.p1, opts_.p2, iter);
+    eps_out = eps;
+    double local_max = 0.0;
+    std::uint64_t local_pos = 0;
+    for (double g : gain_) {
+      if (g > 0.0) {
+        local_max = std::max(local_max, g);
+        ++local_pos;
+      }
+    }
+    struct MaxCount {
+      double max;
+      std::uint64_t count;
+    };
+    const auto agg = comm_.allreduce(
+        MaxCount{local_max, local_pos}, [](const MaxCount& a, const MaxCount& b) {
+          return MaxCount{a.max < b.max ? b.max : a.max, a.count + b.count};
+        });
+    if (agg.count == 0 || agg.max <= 0.0) return -1.0;  // signals "no mover"
+    if (eps >= 1.0) return 0.0;                         // all positive gains move
+
+    Histogram hist(0.0, agg.max, opts_.gain_histogram_bins);
+    for (double g : gain_) {
+      if (g > 0.0) hist.add(g);
+    }
+    comm_.allreduce_vec_sum(hist.counts());
+
+    // ε is a fraction of *all* level vertices (the paper sorts ΔQ_u over
+    // V); convert to a fraction of the positive-gain population.
+    const double budget = eps * static_cast<double>(n_level_);
+    const double frac = std::min(1.0, budget / static_cast<double>(agg.count));
+    return hist.top_fraction_cutoff(frac);
+  }
+
+  // -- UPDATE COMMUNITY INFORMATION (Algorithm 4 lines 13-15) ---------------
+
+  /// Moves every owned vertex whose gain clears the cutoff; ships Σtot and
+  /// member-count deltas to the community owners. Returns global moves.
+  [[nodiscard]] std::uint64_t update_communities(double cutoff) {
+    std::vector<std::vector<DeltaMsg>> deltas(static_cast<std::size_t>(comm_.nranks()));
+    std::uint64_t moves = 0;
+    if (cutoff >= 0.0) {
+      const vid_t local_n = static_cast<vid_t>(label_.size());
+      for (vid_t l = 0; l < local_n; ++l) {
+        if (gain_[l] <= 0.0 || gain_[l] < cutoff) continue;
+        const vid_t from = label_[l];
+        const vid_t to = best_[l];
+        if (from == to) continue;
+        label_[l] = to;
+        deltas[static_cast<std::size_t>(part_.owner(from))].push_back(
+            DeltaMsg{from, -1, -strength_[l]});
+        deltas[static_cast<std::size_t>(part_.owner(to))].push_back(
+            DeltaMsg{to, +1, strength_[l]});
+        ++moves;
+      }
+    }
+    const auto incoming = comm_.exchange(deltas);
+    for (const DeltaMsg& d : incoming) {
+      CommInfo& info = comms_[d.c];
+      info.sigma_tot += d.dtot;
+      info.members += d.dcount;
+    }
+    return comm_.allreduce_sum(moves);
+  }
+
+  // -- Σin + modularity (Algorithm 4 lines 18-25) ----------------------------
+
+  void compute_sigma_in() {
+    for (auto& [c, info] : comms_) info.sigma_in = 0.0;
+    // Local pre-aggregation before the exchange keeps message volume at
+    // one record per (rank, community) pair.
+    std::unordered_map<vid_t, weight_t> acc;
+    acc.reserve(label_.size());
+    out_table_.for_each([&](std::uint64_t key, weight_t w) {
+      const vid_t u = key_hi(key);
+      const vid_t c = key_lo(key);
+      if (label_[part_.to_local(u)] == c) acc[c] += w;
+    });
+    std::vector<std::vector<SinMsg>> outgoing(static_cast<std::size_t>(comm_.nranks()));
+    for (const auto& [c, w] : acc) {
+      outgoing[static_cast<std::size_t>(part_.owner(c))].push_back(SinMsg{c, 0, w});
+    }
+    const auto incoming = comm_.exchange(outgoing);
+    for (const SinMsg& m : incoming) comms_[m.c].sigma_in += m.w;
+  }
+
+  [[nodiscard]] double global_modularity() {
+    double q_local = 0.0;
+    for (const auto& [c, info] : comms_) {
+      if (info.members <= 0) continue;
+      const double tot = info.sigma_tot / two_m_;
+      q_local += info.sigma_in / two_m_ - opts_.resolution * tot * tot;
+    }
+    return comm_.allreduce_sum(q_local);
+  }
+
+  // -- REFINE (Algorithm 4) ---------------------------------------------------
+
+  double refine(LouvainLevel& level, double q_initial) {
+    double prev_q = q_initial;
+    int stagnant = 0;
+    for (int iter = 1; iter <= opts_.max_inner_iterations; ++iter) {
+      WallTimer t;
+      find_best_community();
+      const double find_s = t.seconds();
+      timers_.add(phase::kFindBestCommunity, find_s);
+
+      double eps = 1.0;
+      const double cutoff = gain_cutoff(iter, eps);
+
+      t.reset();
+      const std::uint64_t moves = update_communities(cutoff);
+      const double update_s = t.seconds();
+      timers_.add(phase::kUpdateCommunity, update_s);
+
+      t.reset();
+      state_propagation();
+      const double prop_s = t.seconds();
+      timers_.add(phase::kStatePropagation, prop_s);
+
+      compute_sigma_in();
+      const double q = global_modularity();
+
+      if (opts_.record_trace) {
+        level.trace.moved_fraction.push_back(static_cast<double>(moves) /
+                                             static_cast<double>(n_level_));
+        level.trace.modularity.push_back(q);
+        level.trace.epsilon.push_back(eps);
+        level.trace.gain_cutoff.push_back(cutoff);
+        level.trace.find_seconds.push_back(find_s);
+        level.trace.update_seconds.push_back(update_s);
+        level.trace.prop_seconds.push_back(prop_s);
+      }
+
+      // One stagnant iteration can just mean a low-ε round; require a
+      // window of them (all ranks see the same global q/moves, so the
+      // decision is uniform).
+      stagnant = q - prev_q < opts_.q_tolerance ? stagnant + 1 : 0;
+      prev_q = q;  // report the Q of the labels we actually hold
+      if (moves == 0 || stagnant >= opts_.stagnation_window) break;
+    }
+    return prev_q;
+  }
+
+  // -- GRAPH RECONSTRUCTION (Algorithm 5) -------------------------------------
+
+  /// Sorted global list of communities that still have members.
+  [[nodiscard]] std::vector<vid_t> gather_surviving_communities() {
+    std::vector<vid_t> mine;
+    for (const auto& [c, info] : comms_) {
+      if (info.members > 0) mine.push_back(c);
+    }
+    std::sort(mine.begin(), mine.end());
+    std::vector<vid_t> all = comm_.allgatherv(mine);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+
+  /// Full label vector of this level (dense community ids), identical on
+  /// every rank.
+  [[nodiscard]] std::vector<vid_t> gather_level_labels(
+      const std::unordered_map<vid_t, vid_t>& dense) {
+    std::vector<LabelPair> mine;
+    mine.reserve(label_.size());
+    for (vid_t l = 0; l < static_cast<vid_t>(label_.size()); ++l) {
+      mine.push_back(LabelPair{part_.to_global(comm_.rank(), l), dense.at(label_[l])});
+    }
+    const std::vector<LabelPair> all = comm_.allgatherv(mine);
+    std::vector<vid_t> labels(n_level_, 0);
+    for (const LabelPair& p : all) labels[p.v] = p.c;
+    return labels;
+  }
+
+  /// Rewrites the Out_Table into the next level's In_Table (all-to-all) and
+  /// re-derives the level state.
+  void graph_reconstruction(const std::unordered_map<vid_t, vid_t>& dense,
+                            vid_t next_n) {
+    graph::Partition1D next_part(opts_.partition, next_n, comm_.nranks());
+
+    hashing::EdgeTable next_in(out_table_.size() / 2 + 16, opts_.table_max_load,
+                               opts_.hash);
+    // Swap the receive target in place so the handler can hash directly.
+    pml::Aggregator<EdgeMsg> agg(comm_, opts_.aggregator_capacity);
+    out_table_.for_each([&](std::uint64_t key, weight_t w) {
+      const vid_t u = key_hi(key);
+      const vid_t c = key_lo(key);
+      const vid_t src = dense.at(label_[part_.to_local(u)]);
+      const vid_t dst = dense.at(c);
+      agg.push(next_part.owner(dst), EdgeMsg{src, dst, w});
+    });
+    agg.flush_all();
+    comm_.drain_until_quiescent<EdgeMsg>([&](int /*src*/, std::span<const EdgeMsg> msgs) {
+      for (const EdgeMsg& m : msgs) {
+        next_in.insert_or_add(pack_key(m.src, m.dst), m.w);
+      }
+    });
+
+    in_table_ = std::move(next_in);
+    part_ = next_part;
+    n_level_ = next_n;
+    init_level_state();
+  }
+
+  // -- members ---------------------------------------------------------------
+
+  pml::Comm& comm_;
+  const ParOptions& opts_;
+  graph::Partition1D part_;
+  vid_t n_level_{0};
+  weight_t two_m_{0};
+
+  hashing::EdgeTable in_table_;
+  hashing::EdgeTable out_table_;
+
+  // Per owned vertex (local index):
+  std::vector<weight_t> strength_;
+  std::vector<weight_t> self_loop_;
+  std::vector<vid_t> label_;
+  std::vector<vid_t> best_;
+  std::vector<double> gain_;
+  std::vector<double> stay_score_;
+
+  std::unordered_map<vid_t, CommInfo> comms_;         // owned communities
+  std::unordered_map<vid_t, SigmaRep> sigma_cache_;   // fetched Σtot + members
+
+  PhaseTimers timers_;
+};
+
+/// Shared post-ingestion driver: runs the level loop on an initialized
+/// engine and assembles the (rank-identical) result.
+ParResult run_levels(pml::Comm& comm, RankEngine& engine, vid_t n, const ParOptions& opts,
+                     WallTimer& busy) {
+  ParResult result;
+  result.final_labels.resize(n);
+  if (engine.two_m() <= 0) {
+    // Weightless graph: every vertex is its own community, Q = 0 by
+    // convention (Eq. 3 is undefined at m = 0). Avoids NaNs downstream.
+    std::iota(result.final_labels.begin(), result.final_labels.end(), vid_t{0});
+    result.rank_seconds = comm.allgather(busy.seconds());
+    return result;
+  }
+  std::iota(result.final_labels.begin(), result.final_labels.end(), vid_t{0});
+
+  double prev_q = -2.0;  // below any attainable modularity
+  for (int level_idx = 0; level_idx < opts.max_levels; ++level_idx) {
+    bool compressed = false;
+    LouvainLevel level = engine.run_level(compressed);
+
+    const bool improved = level.modularity - prev_q >= opts.q_tolerance;
+    if (!improved && level_idx > 0) break;
+
+    for (vid_t v = 0; v < n; ++v) {
+      result.final_labels[v] = level.labels[result.final_labels[v]];
+    }
+    prev_q = level.modularity;
+    result.final_modularity = level.modularity;
+    result.levels.push_back(std::move(level));
+    if (!compressed) break;
+  }
+
+  // Aggregate telemetry. Phase timers reduce by max over ranks (the
+  // critical path); traffic sums; wall time gathers per rank.
+  PhaseTimers reduced;
+  for (const auto& [name, secs] : engine.timers().items()) {
+    reduced.add(name, comm.allreduce_max(secs));
+  }
+  result.timers = reduced;
+
+  pml::TrafficStats total;
+  total.records_sent = comm.allreduce_sum(comm.stats().records_sent);
+  total.records_received = comm.allreduce_sum(comm.stats().records_received);
+  total.bytes_sent = comm.allreduce_sum(comm.stats().bytes_sent);
+  total.chunks_sent = comm.allreduce_sum(comm.stats().chunks_sent);
+  total.collectives = comm.allreduce_sum(comm.stats().collectives);
+  result.traffic = total;
+  result.rank_seconds = comm.allgather(busy.seconds());
+  return result;
+}
+
+}  // namespace
+
+ParResult louvain_rank(pml::Comm& comm, const graph::EdgeList& edges, vid_t n_vertices,
+                       const ParOptions& opts) {
+  const vid_t n = std::max(n_vertices, edges.vertex_count());
+  if (n == 0) return ParResult{};
+  WallTimer busy;
+  RankEngine engine(comm, opts);
+  engine.init_from_edges(edges, n);
+  return run_levels(comm, engine, n, opts, busy);
+}
+
+ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
+                                const std::vector<vid_t>& initial_labels,
+                                const ParOptions& opts) {
+  const vid_t n = std::max(n_vertices, edges.vertex_count());
+  ParResult result;
+  if (n == 0) return result;
+  if (initial_labels.size() < n) {
+    throw std::invalid_argument("louvain_parallel_warm: labels shorter than vertex count");
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    if (initial_labels[v] >= n) {
+      throw std::invalid_argument("louvain_parallel_warm: label out of range");
+    }
+  }
+  std::mutex result_mutex;
+  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
+    WallTimer busy;
+    RankEngine engine(comm, opts);
+    engine.init_from_edges(edges, n);
+    engine.warm_start(initial_labels);
+    ParResult local = run_levels(comm, engine, n, opts, busy);
+    if (comm.rank() == 0) {
+      std::scoped_lock lock(result_mutex);
+      result = std::move(local);
+    }
+  });
+  return result;
+}
+
+ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of, vid_t n_vertices,
+                                    const ParOptions& opts) {
+  ParResult result;
+  if (n_vertices == 0) return result;
+  std::mutex result_mutex;
+  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
+    WallTimer busy;
+    RankEngine engine(comm, opts);
+    const graph::EdgeList slice = slice_of(comm.rank(), comm.nranks());
+    engine.init_from_slice(slice, n_vertices);
+    ParResult local = run_levels(comm, engine, n_vertices, opts, busy);
+    if (comm.rank() == 0) {
+      std::scoped_lock lock(result_mutex);
+      result = std::move(local);
+    }
+  });
+  return result;
+}
+
+ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
+                           const ParOptions& opts) {
+  ParResult result;
+  std::mutex result_mutex;
+  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
+    ParResult local = louvain_rank(comm, edges, n_vertices, opts);
+    if (comm.rank() == 0) {
+      std::scoped_lock lock(result_mutex);
+      result = std::move(local);
+    }
+  });
+  return result;
+}
+
+}  // namespace plv::core

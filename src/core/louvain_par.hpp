@@ -1,0 +1,78 @@
+// Parallel Louvain for distributed-memory execution — the paper's core
+// contribution (Algorithms 2–5).
+//
+// Every rank owns a 1-D slice of the vertices plus the communities whose
+// label vertex it owns. Two hash tables per rank carry the graph:
+//
+//   In_Table  — ((v, u), w) for owned u: the in-edges, immutable within a
+//               level; the authoritative copy of the topology.
+//   Out_Table — ((u, c), w) for owned u: the out-edge weight of u into
+//               each neighboring *community* c, rebuilt from the In_Table
+//               by every STATE PROPAGATION as community labels change.
+//
+// One outer level = STATE PROPAGATION → REFINE (inner loop: FIND BEST
+// COMMUNITY, threshold ΔQ̂ selection, UPDATE COMMUNITY INFORMATION,
+// re-propagation, Σin/modularity) → GRAPH RECONSTRUCTION (all-to-all
+// rewrite of the Out_Table into the next level's In_Table).
+#pragma once
+
+#include <functional>
+
+#include "common/louvain.hpp"
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+#include "pml/comm.hpp"
+
+namespace plv::core {
+
+/// Parallel run artifact: the common hierarchy plus communication volume.
+struct ParResult : LouvainResult {
+  pml::TrafficStats traffic;          // summed over ranks
+  std::vector<double> rank_seconds;   // per-rank wall time (incl. waits)
+};
+
+/// Runs the parallel algorithm over `edges` on `opts.nranks` ranks
+/// (threads), returning per-level partitions, modularity, traces, phase
+/// timers (Fig. 8 names) and traffic counters. `n_vertices` may be 0 to
+/// size from the edge list. Deterministic for fixed options and input.
+[[nodiscard]] ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
+                                         const ParOptions& opts);
+
+/// SPMD entry point: the body of one rank, running against an existing
+/// communicator (exposed so tests can drive the engine inside their own
+/// Runtime and inspect per-rank behavior). All ranks must pass the same
+/// `edges`, `n_vertices`, and options. Rank 0's return value carries the
+/// full result; other ranks return an empty result.
+[[nodiscard]] ParResult louvain_rank(pml::Comm& comm, const graph::EdgeList& edges,
+                                     vid_t n_vertices, const ParOptions& opts);
+
+/// Produces the edge-list slice a given rank contributes to the input
+/// graph. Slices must partition the edge multiset (each undirected edge
+/// in exactly one slice); vertex ids may reference any vertex.
+using EdgeSliceFn = std::function<graph::EdgeList(int rank, int nranks)>;
+
+/// Distributed ingestion: no rank ever sees the whole edge list. Each
+/// rank generates its slice and streams the In_Table entries to the edge
+/// endpoints' owners through the coalescing aggregators — the way the
+/// paper's largest runs feed 138 G-edge R-MAT/BTER streams. Produces
+/// bit-identical results to louvain_parallel() on the concatenated
+/// slices (verified by tests/streamed_ingest_test).
+[[nodiscard]] ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of,
+                                                  vid_t n_vertices,
+                                                  const ParOptions& opts);
+
+/// Warm start — the payoff of the dual-hash dynamic-graph design the
+/// paper advertises (Sections I-B, VII): when the graph evolves (edges
+/// added/removed), restart refinement from the previous run's partition
+/// instead of from singletons. The In_Table is rebuilt from the new
+/// edges (it is rewritten wholesale every level anyway); the community
+/// state (labels, Σtot, member counts) is seeded from `initial_labels`
+/// (one label per vertex; label values are vertex ids or any ids < n).
+/// Converges in far fewer inner iterations than a cold start when the
+/// change is incremental (tests/warm_start_test, examples/dynamic_graph).
+[[nodiscard]] ParResult louvain_parallel_warm(const graph::EdgeList& edges,
+                                              vid_t n_vertices,
+                                              const std::vector<vid_t>& initial_labels,
+                                              const ParOptions& opts);
+
+}  // namespace plv::core

@@ -1,0 +1,86 @@
+// Configuration of the parallel Louvain engine.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "graph/partition.hpp"
+#include "hashing/hash_fns.hpp"
+
+namespace plv::core {
+
+/// The convergence heuristic's ε(iter) model (paper Section IV-B).
+enum class ThresholdModel {
+  /// ε = p1 · e^(1 / (p2 · iter)): the paper's Eq. 7. For small p2 this
+  /// decays steeply from p1·e^(1/p2) at iteration 1 toward an asymptotic
+  /// *floor* of p1 — matching Fig. 2's shape, where the update fraction
+  /// drops fast but keeps a few-percent tail out to 30 iterations. The
+  /// floor matters: it keeps the top-gain vertices moving until real
+  /// convergence instead of freezing the graph. Library default.
+  kPaperEq7,
+  /// ε = p1 · e^(−iter / p2): a pure exponential decay (to zero) —
+  /// ablation variant showing why Eq. 7's floor is needed (without it,
+  /// level-0 refinement freezes before the communities finish forming;
+  /// see bench/ablation_threshold).
+  kExponentialDecay,
+  /// ε = 1 for every iteration: every positive-gain vertex moves — the
+  /// "parallel without heuristic" baseline of Fig. 4.
+  kNone,
+};
+
+/// Fraction of vertices allowed to move at inner iteration `iter` (1-based).
+[[nodiscard]] inline double epsilon_of(ThresholdModel model, double p1, double p2,
+                                       int iter) noexcept {
+  double eps = 1.0;
+  switch (model) {
+    case ThresholdModel::kPaperEq7:
+      eps = p1 * std::exp(1.0 / (p2 * static_cast<double>(iter)));
+      break;
+    case ThresholdModel::kExponentialDecay:
+      eps = p1 * std::exp(-static_cast<double>(iter) / p2);
+      break;
+    case ThresholdModel::kNone:
+      eps = 1.0;
+      break;
+  }
+  return std::clamp(eps, 0.0, 1.0);
+}
+
+struct ParOptions {
+  int nranks{4};
+  graph::PartitionKind partition{graph::PartitionKind::kCyclic};
+
+  // Convergence. The inner loop stops on zero moves or after
+  // `stagnation_window` consecutive iterations with < q_tolerance
+  // improvement (one stagnant low-ε iteration is normal, not convergence).
+  double q_tolerance{1e-6};
+  int max_inner_iterations{64};
+  int max_levels{32};
+  int stagnation_window{2};
+
+  // The paper's heuristic (Section IV-B), Eq. 7 with (p1, p2) from our own
+  // Fig. 2 regression (bench/fig2_heuristic_regression): ε(1) ≈ 0.84,
+  // decaying to a ~3% floor — the same shape as the paper's LFR traces.
+  ThresholdModel threshold{ThresholdModel::kPaperEq7};
+  double p1{0.03};
+  double p2{0.3};
+  std::size_t gain_histogram_bins{512};
+
+  // Hash-table configuration (Section V-C). 1/4 load factor is the
+  // paper's chosen speed/memory compromise.
+  hashing::HashKind hash{hashing::HashKind::kFibonacci};
+  double table_max_load{0.25};
+
+  // Messaging: per-destination coalescing buffer, in records.
+  std::size_t aggregator_capacity{4096};
+
+  // Resolution γ of generalized modularity (1 = Newman's Eq. 3). Larger
+  // values favor more, smaller communities.
+  double resolution{1.0};
+
+  // Telemetry.
+  bool record_trace{true};
+};
+
+}  // namespace plv::core

@@ -1,0 +1,228 @@
+#include "core/sssp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/partition.hpp"
+#include "pml/aggregator.hpp"
+
+namespace plv::core {
+
+namespace {
+
+/// Relaxation record: "v can be reached with total distance d via u".
+struct RelaxMsg {
+  vid_t v;
+  vid_t u;
+  weight_t d;
+};
+
+void check_weights(const graph::EdgeList& edges) {
+  for (const Edge& e : edges) {
+    if (e.w < 0) throw std::invalid_argument("sssp: negative edge weight");
+  }
+}
+
+/// Per-owned adjacency with parallel edges merged by MIN weight (the
+/// shortest-path semantics of a multigraph; note this differs from the
+/// Louvain/CSR convention, which sums parallel edges).
+std::vector<std::vector<std::pair<vid_t, weight_t>>> build_adjacency(
+    const graph::EdgeList& edges, const graph::Partition1D& part, int me) {
+  std::vector<std::vector<std::pair<vid_t, weight_t>>> adj(part.local_count(me));
+  auto push = [&](vid_t owned, vid_t nbr, weight_t w) {
+    adj[part.to_local(owned)].emplace_back(nbr, w);
+  };
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    if (part.owner(e.u) == me) push(e.u, e.v, e.w);
+    if (part.owner(e.v) == me) push(e.v, e.u, e.w);
+  }
+  for (auto& row : adj) {
+    std::sort(row.begin(), row.end());
+    // Keep the cheapest copy of each neighbor.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (out > 0 && row[out - 1].first == row[i].first) continue;  // sorted: first is min
+      row[out++] = row[i];
+    }
+    row.resize(out);
+  }
+  return adj;
+}
+
+SsspResult sssp_rank(pml::Comm& comm, const graph::EdgeList& edges, vid_t n, vid_t root,
+                     const ParOptions& opts) {
+  const graph::Partition1D part(opts.partition, n, comm.nranks());
+  const int me = comm.rank();
+  const auto adj = build_adjacency(edges, part, me);
+  const vid_t local_n = part.local_count(me);
+  const weight_t inf = sssp_infinity();
+
+  std::vector<weight_t> dist(local_n, inf);
+  std::vector<bool> dirty(local_n, false);
+  if (part.owner(root) == me) {
+    dist[part.to_local(root)] = 0;
+    dirty[part.to_local(root)] = true;
+  }
+
+  SsspResult result;
+  std::uint64_t local_relax = 0;
+  for (;;) {
+    ++result.rounds;
+    pml::Aggregator<RelaxMsg> agg(comm, opts.aggregator_capacity);
+    for (vid_t l = 0; l < local_n; ++l) {
+      if (!dirty[l]) continue;
+      dirty[l] = false;
+      const vid_t u = part.to_global(me, l);
+      for (const auto& [v, w] : adj[l]) {
+        agg.push(part.owner(v), RelaxMsg{v, u, dist[l] + w});
+      }
+    }
+    agg.flush_all();
+    std::uint64_t changes = 0;
+    comm.drain_until_quiescent<RelaxMsg>([&](int, std::span<const RelaxMsg> msgs) {
+      for (const RelaxMsg& m : msgs) {
+        const vid_t l = part.to_local(m.v);
+        if (m.d < dist[l]) {
+          dist[l] = m.d;
+          if (!dirty[l]) {
+            dirty[l] = true;
+            ++changes;
+          }
+          ++local_relax;
+        }
+      }
+    });
+    if (comm.allreduce_sum(changes) == 0) break;
+  }
+
+  // Parent post-pass: every settled vertex offers itself as parent; the
+  // receiver keeps the smallest id among exact-distance predecessors.
+  std::vector<vid_t> parent(local_n, kInvalidVid);
+  if (part.owner(root) == me) parent[part.to_local(root)] = root;
+  {
+    pml::Aggregator<RelaxMsg> agg(comm, opts.aggregator_capacity);
+    for (vid_t l = 0; l < local_n; ++l) {
+      if (dist[l] == inf) continue;
+      const vid_t u = part.to_global(me, l);
+      for (const auto& [v, w] : adj[l]) {
+        agg.push(part.owner(v), RelaxMsg{v, u, dist[l] + w});
+      }
+    }
+    agg.flush_all();
+    comm.drain_until_quiescent<RelaxMsg>([&](int, std::span<const RelaxMsg> msgs) {
+      for (const RelaxMsg& m : msgs) {
+        const vid_t l = part.to_local(m.v);
+        if (part.to_global(me, l) == root) continue;
+        if (dist[l] != inf && m.d == dist[l] && m.u < parent[l]) parent[l] = m.u;
+      }
+    });
+  }
+
+  // Gather (identical on all ranks).
+  struct Entry {
+    vid_t v;
+    vid_t parent;
+    weight_t d;
+  };
+  std::vector<Entry> mine(local_n);
+  for (vid_t l = 0; l < local_n; ++l) {
+    mine[l] = {part.to_global(me, l), parent[l], dist[l]};
+  }
+  const auto all = comm.allgatherv(mine);
+  result.distance.assign(n, inf);
+  result.parent.assign(n, kInvalidVid);
+  for (const Entry& e : all) {
+    result.distance[e.v] = e.d;
+    result.parent[e.v] = e.parent;
+    if (e.d != inf) ++result.reached;
+  }
+  result.relaxations = comm.allreduce_sum(local_relax);
+  return result;
+}
+
+}  // namespace
+
+weight_t sssp_infinity() noexcept { return std::numeric_limits<weight_t>::infinity(); }
+
+SsspResult sssp_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t root,
+                         const ParOptions& opts) {
+  check_weights(edges);
+  const vid_t n = std::max(n_vertices, edges.vertex_count());
+  SsspResult result;
+  if (n == 0 || root >= n) return result;
+  std::mutex mutex;
+  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
+    SsspResult local = sssp_rank(comm, edges, n, root, opts);
+    if (comm.rank() == 0) {
+      std::scoped_lock lock(mutex);
+      result = std::move(local);
+    }
+  });
+  return result;
+}
+
+SsspResult sssp_seq(const graph::EdgeList& edges, vid_t n_vertices, vid_t root) {
+  check_weights(edges);
+  const vid_t n = std::max(n_vertices, edges.vertex_count());
+  SsspResult result;
+  if (n == 0 || root >= n) return result;
+  const weight_t inf = sssp_infinity();
+
+  // Min-merged adjacency for the whole graph.
+  std::vector<std::vector<std::pair<vid_t, weight_t>>> adj(n);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    adj[e.u].emplace_back(e.v, e.w);
+    adj[e.v].emplace_back(e.u, e.w);
+  }
+  for (auto& row : adj) {
+    std::sort(row.begin(), row.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (out > 0 && row[out - 1].first == row[i].first) continue;
+      row[out++] = row[i];
+    }
+    row.resize(out);
+  }
+
+  result.distance.assign(n, inf);
+  result.parent.assign(n, kInvalidVid);
+  result.distance[root] = 0;
+  result.parent[root] = root;
+
+  using Item = std::pair<weight_t, vid_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0, root);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > result.distance[u]) continue;  // stale
+    for (const auto& [v, w] : adj[u]) {
+      if (d + w < result.distance[v]) {
+        result.distance[v] = d + w;
+        heap.emplace(d + w, v);
+        ++result.relaxations;
+      }
+    }
+  }
+
+  // Same min-parent post-pass as the parallel version.
+  for (vid_t u = 0; u < n; ++u) {
+    if (result.distance[u] == inf) continue;
+    if (result.distance[u] != inf) ++result.reached;
+    for (const auto& [v, w] : adj[u]) {
+      if (v == root || result.distance[v] == inf) continue;
+      if (result.distance[u] + w == result.distance[v] && u < result.parent[v]) {
+        result.parent[v] = u;
+      }
+    }
+  }
+  result.rounds = 1;
+  return result;
+}
+
+}  // namespace plv::core

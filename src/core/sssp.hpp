@@ -1,0 +1,40 @@
+// Distributed single-source shortest paths on the pml runtime.
+//
+// Ref [28] of the paper ("Scalable Single Source Shortest Path algorithms
+// for Massively Parallel Systems") is the second workload its messaging
+// layer was engineered for. This is a label-correcting (Bellman-Ford
+// style) formulation in the same mold as the Louvain phases: owned
+// distance state, relaxation messages through per-destination
+// aggregators, global quiescence via an allreduce per round.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/options.hpp"
+#include "graph/edge_list.hpp"
+
+namespace plv::core {
+
+struct SsspResult {
+  std::vector<weight_t> distance;  // +inf when unreached
+  std::vector<vid_t> parent;       // kInvalidVid when unreached; root -> root
+  vid_t reached{0};
+  int rounds{0};
+  std::uint64_t relaxations{0};  // distance-improving updates applied
+};
+
+/// Distance value used for "unreached".
+[[nodiscard]] weight_t sssp_infinity() noexcept;
+
+/// Distributed label-correcting SSSP from `root`. Edge weights must be
+/// non-negative (checked; throws std::invalid_argument otherwise).
+/// Deterministic: equal-distance ties resolve to the smallest parent id.
+[[nodiscard]] SsspResult sssp_parallel(const graph::EdgeList& edges, vid_t n_vertices,
+                                       vid_t root, const ParOptions& opts);
+
+/// Sequential Dijkstra reference with the same tie-break rule.
+[[nodiscard]] SsspResult sssp_seq(const graph::EdgeList& edges, vid_t n_vertices,
+                                  vid_t root);
+
+}  // namespace plv::core

@@ -1,0 +1,22 @@
+#include "gen/er.hpp"
+
+#include "common/random.hpp"
+
+namespace plv::gen {
+
+graph::EdgeList erdos_renyi(const ErParams& p) {
+  graph::EdgeList edges;
+  edges.reserve(p.m);
+  Xoshiro256 rng(p.seed);
+  for (std::uint64_t i = 0; i < p.m; ++i) {
+    vid_t u = static_cast<vid_t>(rng.next_below(p.n));
+    vid_t v = static_cast<vid_t>(rng.next_below(p.n));
+    while (!p.allow_self_loops && u == v && p.n > 1) {
+      v = static_cast<vid_t>(rng.next_below(p.n));
+    }
+    edges.add(u, v, 1.0);
+  }
+  return edges;
+}
+
+}  // namespace plv::gen

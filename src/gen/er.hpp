@@ -1,0 +1,21 @@
+// Erdős–Rényi G(n, m) generator — the community-free null model used by
+// tests (modularity of a random graph's trivial partitions, hash-table
+// stress inputs) and by the BTER phase-2 edges.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace plv::gen {
+
+struct ErParams {
+  vid_t n{1024};
+  std::uint64_t m{8192};
+  std::uint64_t seed{1};
+  bool allow_self_loops{false};
+};
+
+[[nodiscard]] graph::EdgeList erdos_renyi(const ErParams& params);
+
+}  // namespace plv::gen

@@ -1,0 +1,190 @@
+#include "gen/lfr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/power_law.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace plv::gen {
+
+namespace {
+
+/// Shuffle via Fisher-Yates with our deterministic RNG.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[rng.next_below(i)]);
+  }
+}
+
+/// Samples community sizes until they cover exactly n vertices. The last
+/// community is trimmed; if the trim leaves it below c_min it is merged
+/// into its predecessor.
+std::vector<std::uint32_t> sample_community_sizes(const LfrParams& p, Xoshiro256& rng) {
+  PowerLawSampler sampler(p.c_min, p.c_max, p.beta);
+  std::vector<std::uint32_t> sizes;
+  std::uint64_t total = 0;
+  while (total < p.n) {
+    std::uint32_t s = sampler(rng);
+    if (total + s > p.n) s = static_cast<std::uint32_t>(p.n - total);
+    sizes.push_back(s);
+    total += s;
+  }
+  if (sizes.size() > 1 && sizes.back() < p.c_min) {
+    sizes[sizes.size() - 2] += sizes.back();
+    sizes.pop_back();
+  }
+  return sizes;
+}
+
+/// Pairs stubs into edges, rejecting self loops, duplicates, and (when
+/// `same_forbidden` is set) pairs within one community. Conflicting stubs
+/// are re-shuffled and re-paired for `rounds` rounds; leftovers return.
+std::uint64_t pair_stubs(std::vector<vid_t> stubs, const std::vector<vid_t>* labels,
+                         int rounds, Xoshiro256& rng, graph::EdgeList& out,
+                         std::unordered_set<std::uint64_t>& seen) {
+  auto conflict = [&](vid_t a, vid_t b) {
+    if (a == b) return true;
+    if (labels != nullptr && (*labels)[a] == (*labels)[b]) return true;
+    const std::uint64_t key = a < b ? pack_key(a, b) : pack_key(b, a);
+    return seen.contains(key);
+  };
+  for (int round = 0; round < rounds && stubs.size() >= 2; ++round) {
+    shuffle(stubs, rng);
+    std::vector<vid_t> leftover;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const vid_t a = stubs[i];
+      const vid_t b = stubs[i + 1];
+      if (conflict(a, b)) {
+        leftover.push_back(a);
+        leftover.push_back(b);
+        continue;
+      }
+      const std::uint64_t key = a < b ? pack_key(a, b) : pack_key(b, a);
+      seen.insert(key);
+      out.add(a, b, 1.0);
+    }
+    if (stubs.size() % 2 == 1) leftover.push_back(stubs.back());
+    if (leftover.size() == stubs.size()) break;  // no progress possible
+    stubs = std::move(leftover);
+  }
+  return stubs.size();
+}
+
+}  // namespace
+
+LfrGraph lfr(const LfrParams& p) {
+  if (p.mu < 0.0 || p.mu > 1.0) throw std::invalid_argument("lfr: mu must be in [0,1]");
+  if (p.k_min < 1 || p.k_max < p.k_min) throw std::invalid_argument("lfr: bad degree range");
+  if (p.c_min < 2 || p.c_max < p.c_min) throw std::invalid_argument("lfr: bad size range");
+
+  LfrGraph out;
+  Xoshiro256 rng(p.seed);
+
+  // 1. Degree sequence and planned internal degrees.
+  PowerLawSampler deg_sampler(p.k_min, p.k_max, p.gamma);
+  std::vector<std::uint32_t> degree(p.n);
+  std::vector<std::uint32_t> internal(p.n);
+  for (vid_t v = 0; v < p.n; ++v) {
+    degree[v] = deg_sampler(rng);
+    internal[v] = static_cast<std::uint32_t>(std::lround((1.0 - p.mu) * degree[v]));
+    internal[v] = std::min(internal[v], degree[v]);
+  }
+
+  // 2. Community sizes.
+  std::vector<std::uint32_t> sizes = sample_community_sizes(p, rng);
+  out.num_communities = sizes.size();
+
+  // 3. Assignment: process vertices by decreasing internal degree; among
+  //    communities large enough for the vertex (size-1 >= internal degree)
+  //    pick the one with the most remaining room. Communities become
+  //    eligible in decreasing-size order as the required degree drops.
+  std::vector<vid_t> order(p.n);
+  std::iota(order.begin(), order.end(), vid_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](vid_t a, vid_t b) { return internal[a] > internal[b]; });
+
+  std::vector<std::size_t> comm_by_size(sizes.size());
+  std::iota(comm_by_size.begin(), comm_by_size.end(), std::size_t{0});
+  std::sort(comm_by_size.begin(), comm_by_size.end(),
+            [&](std::size_t a, std::size_t b) { return sizes[a] > sizes[b]; });
+
+  std::vector<std::uint32_t> remaining(sizes.begin(), sizes.end());
+  out.ground_truth.assign(p.n, 0);
+  // Max-heap of (remaining, community) over eligible communities.
+  using HeapItem = std::pair<std::uint32_t, std::size_t>;
+  std::priority_queue<HeapItem> eligible;
+  std::size_t next_to_enroll = 0;
+
+  for (vid_t idx = 0; idx < p.n; ++idx) {
+    const vid_t v = order[idx];
+    while (next_to_enroll < comm_by_size.size() &&
+           sizes[comm_by_size[next_to_enroll]] >= internal[v] + 1) {
+      const std::size_t c = comm_by_size[next_to_enroll++];
+      eligible.emplace(remaining[c], c);
+    }
+    std::size_t chosen = sizes.size();
+    // Pop stale heap entries (remaining changed since push).
+    while (!eligible.empty()) {
+      auto [room, c] = eligible.top();
+      eligible.pop();
+      if (room != remaining[c]) continue;  // stale
+      if (room == 0) continue;
+      chosen = c;
+      break;
+    }
+    if (chosen == sizes.size()) {
+      // Every eligible community is full; fall back to the fullest-room
+      // community overall and clamp the internal degree to fit it.
+      std::uint32_t best_room = 0;
+      for (std::size_t c = 0; c < sizes.size(); ++c) {
+        if (remaining[c] > best_room) {
+          best_room = remaining[c];
+          chosen = c;
+        }
+      }
+      assert(chosen != sizes.size());  // Σ sizes == n, so room must exist
+      internal[v] = std::min<std::uint32_t>(internal[v], sizes[chosen] - 1);
+    }
+    out.ground_truth[v] = static_cast<vid_t>(chosen);
+    --remaining[chosen];
+    eligible.emplace(remaining[chosen], chosen);
+  }
+
+  // 4. Internal edges: per-community configuration model.
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::vector<vid_t>> members(sizes.size());
+  for (vid_t v = 0; v < p.n; ++v) members[out.ground_truth[v]].push_back(v);
+
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    std::vector<vid_t> stubs;
+    for (vid_t v : members[c]) {
+      for (std::uint32_t s = 0; s < internal[v]; ++s) stubs.push_back(v);
+    }
+    if (stubs.size() % 2 == 1) stubs.pop_back();  // drop one stub for parity
+    out.dropped_stubs += pair_stubs(std::move(stubs), nullptr, p.rewire_rounds, rng,
+                                    out.edges, seen);
+  }
+
+  // 5. External edges: global configuration model forbidding same-community
+  //    pairs.
+  std::vector<vid_t> ext_stubs;
+  for (vid_t v = 0; v < p.n; ++v) {
+    const std::uint32_t ext = degree[v] - std::min(degree[v], internal[v]);
+    for (std::uint32_t s = 0; s < ext; ++s) ext_stubs.push_back(v);
+  }
+  if (ext_stubs.size() % 2 == 1) ext_stubs.pop_back();
+  out.dropped_stubs += pair_stubs(std::move(ext_stubs), &out.ground_truth,
+                                  p.rewire_rounds, rng, out.edges, seen);
+
+  return out;
+}
+
+}  // namespace plv::gen

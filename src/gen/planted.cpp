@@ -1,0 +1,46 @@
+#include "gen/planted.hpp"
+
+#include "common/random.hpp"
+
+namespace plv::gen {
+
+PlantedGraph planted_partition(const PlantedParams& p) {
+  PlantedGraph out;
+  const vid_t n = p.communities * p.community_size;
+  out.ground_truth.resize(n);
+  for (vid_t v = 0; v < n; ++v) out.ground_truth[v] = v / p.community_size;
+
+  Xoshiro256 rng(p.seed);
+  for (vid_t u = 0; u < n; ++u) {
+    for (vid_t v = u + 1; v < n; ++v) {
+      const bool same = out.ground_truth[u] == out.ground_truth[v];
+      const double prob = same ? p.p_intra : p.p_inter;
+      if (rng.next_double() < prob) out.edges.add(u, v, 1.0);
+    }
+  }
+  return out;
+}
+
+PlantedGraph ring_of_cliques(vid_t cliques, vid_t clique_size, std::uint64_t /*seed*/) {
+  PlantedGraph out;
+  const vid_t n = cliques * clique_size;
+  out.ground_truth.resize(n);
+  for (vid_t c = 0; c < cliques; ++c) {
+    const vid_t base = c * clique_size;
+    for (vid_t i = 0; i < clique_size; ++i) {
+      out.ground_truth[base + i] = c;
+      for (vid_t j = i + 1; j < clique_size; ++j) {
+        out.edges.add(base + i, base + j, 1.0);
+      }
+    }
+    // One bridge to the next clique (wrapping), connecting "corner"
+    // vertices so the bridge endpoints are unambiguous.
+    if (cliques > 1) {
+      const vid_t next_base = ((c + 1) % cliques) * clique_size;
+      out.edges.add(base + clique_size - 1, next_base, 1.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace plv::gen

@@ -1,0 +1,36 @@
+// Planted-partition graphs: k communities with dense intra- and sparse
+// inter-community edges, plus the degenerate "ring of cliques".
+//
+// These have an unambiguous, deterministic ground truth, which makes them
+// the backbone of the correctness tests: Louvain (sequential or parallel)
+// must recover the planted communities exactly when the contrast is high.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace plv::gen {
+
+struct PlantedParams {
+  vid_t communities{8};
+  vid_t community_size{16};
+  double p_intra{0.8};   // edge probability inside a community
+  double p_inter{0.01};  // edge probability across communities
+  std::uint64_t seed{1};
+};
+
+struct PlantedGraph {
+  graph::EdgeList edges;
+  std::vector<vid_t> ground_truth;  // community label per vertex
+};
+
+[[nodiscard]] PlantedGraph planted_partition(const PlantedParams& params);
+
+/// k disjoint cliques of size s, adjacent cliques joined by a single edge
+/// forming a ring. The classic Louvain sanity graph.
+[[nodiscard]] PlantedGraph ring_of_cliques(vid_t cliques, vid_t clique_size,
+                                           std::uint64_t seed = 0);
+
+}  // namespace plv::gen

@@ -1,0 +1,95 @@
+#include "gen/rmat.hpp"
+
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+namespace plv::gen {
+
+namespace {
+
+/// One pass of a 4-round Feistel network over 2*half bits.
+std::uint64_t feistel_pass(std::uint64_t x, unsigned half, std::uint64_t seed) {
+  const std::uint64_t half_mask = (1ULL << half) - 1;
+  std::uint64_t left = x >> half;
+  std::uint64_t right = x & half_mask;
+  for (int round = 0; round < 4; ++round) {
+    const std::uint64_t f =
+        mix64(right ^ (seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(round + 1))) &
+        half_mask;
+    const std::uint64_t new_left = right;
+    right = (left ^ f) & half_mask;
+    left = new_left;
+  }
+  return (left << half) | right;
+}
+
+/// Bijective id scramble over [0, 2^scale): a Feistel permutation of the
+/// enclosing power-of-four domain with cycle-walking, which restricts any
+/// bijection of a superset to a bijection of the subdomain.
+vid_t scramble(vid_t id, unsigned scale, std::uint64_t seed) {
+  const unsigned half = (scale + 1) / 2;
+  const std::uint64_t n = 1ULL << scale;
+  std::uint64_t out = id;
+  do {
+    out = feistel_pass(out, half, seed);
+  } while (out >= n);
+  return static_cast<vid_t>(out);
+}
+
+Edge make_edge(const RmatParams& p, std::uint64_t index) {
+  // Derive an independent RNG stream per edge from (seed, index).
+  std::uint64_t sm = p.seed ^ mix64(index + 0x12345);
+  Xoshiro256 rng(splitmix64(sm));
+  std::uint64_t u = 0, v = 0;
+  for (unsigned level = 0; level < p.scale; ++level) {
+    const double r = rng.next_double();
+    std::uint64_t ubit = 0, vbit = 0;
+    if (r < p.a) {
+      // top-left
+    } else if (r < p.a + p.b) {
+      vbit = 1;
+    } else if (r < p.a + p.b + p.c) {
+      ubit = 1;
+    } else {
+      ubit = 1;
+      vbit = 1;
+    }
+    u = (u << 1) | ubit;
+    v = (v << 1) | vbit;
+  }
+  vid_t su = static_cast<vid_t>(u);
+  vid_t sv = static_cast<vid_t>(v);
+  if (p.scramble_ids) {
+    su = scramble(su, p.scale, p.seed);
+    sv = scramble(sv, p.scale, p.seed);
+  }
+  return Edge{su, sv, 1.0};
+}
+
+}  // namespace
+
+graph::EdgeList rmat_slice(const RmatParams& p, std::uint64_t first_edge,
+                           std::uint64_t count) {
+  graph::EdgeList edges;
+  edges.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Edge e = make_edge(p, first_edge + i);
+    if (!p.allow_self_loops && e.u == e.v) {
+      // Deterministic redraw from a shifted stream.
+      std::uint64_t attempt = 1;
+      while (e.u == e.v) {
+        e = make_edge(p, first_edge + i + (attempt++ << 48));
+      }
+    }
+    edges.add(e.u, e.v, e.w);
+  }
+  return edges;
+}
+
+graph::EdgeList rmat(const RmatParams& p) {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(p.edge_factor) << p.scale;
+  return rmat_slice(p, 0, total);
+}
+
+}  // namespace plv::gen

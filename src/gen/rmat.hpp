@@ -1,0 +1,36 @@
+// R-MAT generator (Chakrabarti, Zhan, Faloutsos; Graph500 flavor).
+//
+// The paper uses Graph500-conforming R-MAT graphs (Table I: 2^SCALE
+// vertices, 2^(SCALE+4) edges, i.e. edge factor 16) for the hash study
+// (Fig. 6) and for BG/Q scalability (Fig. 9). R-MAT has heavy-tailed
+// degrees but — as the paper notes — no marked community structure.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace plv::gen {
+
+struct RmatParams {
+  unsigned scale{16};          // 2^scale vertices
+  unsigned edge_factor{16};    // edges = edge_factor * 2^scale
+  double a{0.57};              // Graph500 quadrant probabilities
+  double b{0.19};
+  double c{0.19};
+  std::uint64_t seed{1};
+  bool scramble_ids{true};     // Graph500 vertex permutation
+  bool allow_self_loops{true};
+};
+
+/// Generates the full edge list. Weights are 1.
+[[nodiscard]] graph::EdgeList rmat(const RmatParams& params);
+
+/// Generates only the slice [first_edge, first_edge + count) of the edge
+/// stream — each edge is a pure function of (seed, index), so ranks can
+/// generate disjoint slices of the same graph independently (this is how
+/// the weak-scaling bench builds per-rank work without a shared pass).
+[[nodiscard]] graph::EdgeList rmat_slice(const RmatParams& params,
+                                         std::uint64_t first_edge, std::uint64_t count);
+
+}  // namespace plv::gen

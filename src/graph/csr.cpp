@@ -1,0 +1,104 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace plv::graph {
+
+Csr Csr::from_edges(const EdgeList& edges, vid_t n_vertices) {
+  Csr g;
+  const vid_t implied = edges.vertex_count();
+  g.n_ = std::max(n_vertices, implied);
+  g.offsets_.assign(static_cast<std::size_t>(g.n_) + 1, 0);
+  g.strength_.assign(g.n_, 0.0);
+  g.self_loop_.assign(g.n_, 0.0);
+  if (g.n_ == 0) return g;
+
+  // Pass 1: count raw (pre-merge) entries per row. Each non-loop record
+  // contributes one entry to each endpoint's row; a loop contributes one.
+  for (const Edge& e : edges) {
+    ++g.offsets_[e.u + 1];
+    if (e.u != e.v) ++g.offsets_[e.v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  // Pass 2: scatter raw entries.
+  const auto raw_total = static_cast<std::size_t>(g.offsets_.back());
+  g.adj_.resize(raw_total);
+  g.wgt_.resize(raw_total);
+  std::vector<ecount_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) {
+      g.adj_[cursor[e.u]] = e.u;
+      g.wgt_[cursor[e.u]++] = 2 * e.w;  // A(u,u) = 2w by convention
+    } else {
+      g.adj_[cursor[e.u]] = e.v;
+      g.wgt_[cursor[e.u]++] = e.w;
+      g.adj_[cursor[e.v]] = e.u;
+      g.wgt_[cursor[e.v]++] = e.w;
+    }
+  }
+
+  // Pass 3: sort each row and merge duplicate neighbors (parallel edges).
+  std::vector<ecount_t> new_offsets(g.offsets_.size(), 0);
+  ecount_t write = 0;
+  std::vector<std::pair<vid_t, weight_t>> row;
+  for (vid_t u = 0; u < g.n_; ++u) {
+    row.clear();
+    for (ecount_t i = g.offsets_[u]; i < g.offsets_[u + 1]; ++i) {
+      row.emplace_back(g.adj_[i], g.wgt_[i]);
+    }
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const ecount_t row_start = write;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (write > row_start && g.adj_[write - 1] == row[i].first) {
+        g.wgt_[write - 1] += row[i].second;
+      } else {
+        g.adj_[write] = row[i].first;
+        g.wgt_[write] = row[i].second;
+        ++write;
+      }
+    }
+    new_offsets[u + 1] = write;
+    weight_t s = 0;
+    for (ecount_t i = row_start; i < write; ++i) {
+      s += g.wgt_[i];
+      if (g.adj_[i] == u) g.self_loop_[u] = g.wgt_[i];
+    }
+    g.strength_[u] = s;
+    g.two_m_ += s;
+  }
+  g.offsets_ = std::move(new_offsets);
+  g.adj_.resize(write);
+  g.wgt_.resize(write);
+  g.adj_.shrink_to_fit();
+  g.wgt_.shrink_to_fit();
+
+  // Count undirected edges: (entries - loops)/2 + loops.
+  ecount_t loops = 0;
+  for (vid_t u = 0; u < g.n_; ++u) {
+    if (g.self_loop_[u] != 0.0) ++loops;
+  }
+  g.undirected_edges_ = (static_cast<ecount_t>(g.adj_.size()) - loops) / 2 + loops;
+  return g;
+}
+
+EdgeList Csr::to_edges() const {
+  EdgeList out;
+  out.reserve(static_cast<std::size_t>(undirected_edges_));
+  for (vid_t u = 0; u < n_; ++u) {
+    for_each_neighbor(u, [&](vid_t v, weight_t a) {
+      if (v > u) {
+        out.add(u, v, a);
+      } else if (v == u) {
+        out.add(u, u, a / 2);  // back to unordered self-loop weight
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace plv::graph

@@ -1,0 +1,89 @@
+// Compressed sparse row graph with the "ordered-pair" weight convention.
+//
+// Adjacency entries store A(u,v), the symmetric weighted adjacency value
+// for the *ordered* pair (u,v):
+//
+//   * an undirected edge {u,v}, u != v, of weight w sets A(u,v)=A(v,u)=w;
+//   * a self loop of weight w sets A(u,u) = 2w.
+//
+// With this convention every edge-list record adds exactly 2w to
+//   two_m = Σ_u Σ_v A(u,v),
+// the vertex strength is the plain row sum, and Louvain coarsening is
+// *exact*: giving community c a self loop of (unordered) weight Σ_in^c/2
+// reproduces the fine graph's modularity for the induced partition
+// (verified by tests/graph_coarsen_test).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace plv::graph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds a CSR over `n_vertices` (>= edge list's vertex_count; pass 0
+  /// to size from the list). Duplicate records accumulate.
+  static Csr from_edges(const EdgeList& edges, vid_t n_vertices = 0);
+
+  [[nodiscard]] vid_t num_vertices() const noexcept { return n_; }
+
+  /// Number of stored adjacency entries (ordered pairs, after merging).
+  [[nodiscard]] ecount_t num_entries() const noexcept {
+    return static_cast<ecount_t>(adj_.size());
+  }
+
+  /// Number of undirected edges implied (self loops count once).
+  [[nodiscard]] ecount_t num_undirected_edges() const noexcept { return undirected_edges_; }
+
+  /// Σ_u Σ_v A(u,v) — twice the total undirected weight m.
+  [[nodiscard]] weight_t two_m() const noexcept { return two_m_; }
+  [[nodiscard]] weight_t total_weight() const noexcept { return two_m_ / 2; }
+
+  /// Weighted degree (strength) of u: Σ_v A(u,v); self loops contribute 2w.
+  [[nodiscard]] weight_t strength(vid_t u) const noexcept { return strength_[u]; }
+
+  /// A(u,u): twice the unordered self-loop weight at u.
+  [[nodiscard]] weight_t self_loop(vid_t u) const noexcept { return self_loop_[u]; }
+
+  /// Unweighted degree = number of distinct neighbors (incl. u itself if
+  /// it has a self loop).
+  [[nodiscard]] ecount_t degree(vid_t u) const noexcept {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  [[nodiscard]] std::span<const vid_t> neighbors(vid_t u) const noexcept {
+    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  [[nodiscard]] std::span<const weight_t> weights(vid_t u) const noexcept {
+    return {wgt_.data() + offsets_[u], wgt_.data() + offsets_[u + 1]};
+  }
+
+  /// Visits (v, A(u,v)) for every neighbor v of u.
+  template <typename Fn>
+  void for_each_neighbor(vid_t u, Fn&& fn) const {
+    for (ecount_t i = offsets_[u]; i < offsets_[u + 1]; ++i) fn(adj_[i], wgt_[i]);
+  }
+
+  /// Exports the undirected edge list (u <= v, self loops with their
+  /// unordered weight). Inverse of from_edges up to record merging.
+  [[nodiscard]] EdgeList to_edges() const;
+
+ private:
+  vid_t n_{0};
+  ecount_t undirected_edges_{0};
+  weight_t two_m_{0};
+  std::vector<ecount_t> offsets_;   // n_+1
+  std::vector<vid_t> adj_;          // neighbor ids, sorted per row
+  std::vector<weight_t> wgt_;       // A(u,v) per entry
+  std::vector<weight_t> strength_;  // row sums
+  std::vector<weight_t> self_loop_;
+};
+
+}  // namespace plv::graph

@@ -1,0 +1,93 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace plv::graph {
+
+namespace {
+
+constexpr std::uint64_t kBinaryMagic = 0x504c564745444745ULL;  // "PLVGEDGE"
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+}  // namespace
+
+EdgeList load_edge_list_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open edge list", path);
+  EdgeList edges;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(ls >> u >> v)) {
+      fail("malformed edge at line " + std::to_string(lineno), path);
+    }
+    ls >> w;  // optional
+    edges.add(static_cast<vid_t>(u), static_cast<vid_t>(v), w);
+  }
+  return edges;
+}
+
+void save_edge_list_text(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write edge list", path);
+  out << "# plouvain edge list: u v w\n";
+  for (const Edge& e : edges) {
+    out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  }
+  if (!out) fail("write failed", path);
+}
+
+EdgeList load_edge_list_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open edge list", path);
+  std::uint64_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || magic != kBinaryMagic) fail("bad binary edge list header", path);
+  std::vector<Edge> edges(count);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!in) fail("truncated binary edge list", path);
+  return EdgeList(std::move(edges));
+}
+
+void save_edge_list_binary(const EdgeList& edges, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot write edge list", path);
+  const std::uint64_t magic = kBinaryMagic;
+  const std::uint64_t count = edges.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.write(reinterpret_cast<const char*>(edges.edges().data()),
+            static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!out) fail("write failed", path);
+}
+
+std::vector<vid_t> load_communities(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open community file", path);
+  std::vector<vid_t> labels;
+  std::uint64_t label = 0;
+  while (in >> label) labels.push_back(static_cast<vid_t>(label));
+  return labels;
+}
+
+void save_communities(const std::vector<vid_t>& labels, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot write community file", path);
+  for (vid_t c : labels) out << c << '\n';
+  if (!out) fail("write failed", path);
+}
+
+}  // namespace plv::graph

@@ -1,0 +1,51 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plv::graph {
+
+GraphStats graph_stats(const Csr& g) {
+  GraphStats s;
+  s.vertices = g.num_vertices();
+  s.undirected_edges = g.num_undirected_edges();
+  s.total_weight = g.total_weight();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const ecount_t d = g.degree(v);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_vertices;
+    if (g.self_loop(v) != 0.0) ++s.self_loops;
+  }
+  if (s.vertices > 0) {
+    s.avg_degree =
+        static_cast<double>(g.num_entries()) / static_cast<double>(s.vertices);
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Csr& g) {
+  std::vector<std::uint64_t> hist;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const auto d = static_cast<std::size_t>(g.degree(v));
+    if (hist.size() <= d) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+double degree_powerlaw_exponent(const Csr& g, ecount_t d_min) {
+  // Discrete MLE approximation: γ ≈ 1 + n / Σ ln(d_i / (d_min - 0.5)).
+  double log_sum = 0.0;
+  std::uint64_t n = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const ecount_t d = g.degree(v);
+    if (d < d_min) continue;
+    log_sum += std::log(static_cast<double>(d) /
+                        (static_cast<double>(d_min) - 0.5));
+    ++n;
+  }
+  if (n < 2 || log_sum <= 0) return 0.0;
+  return 1.0 + static_cast<double>(n) / log_sum;
+}
+
+}  // namespace plv::graph

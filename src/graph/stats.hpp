@@ -1,0 +1,33 @@
+// Descriptive graph statistics — the quantities Table I reports for each
+// evaluation graph (vertices, edges, degree profile) plus the degree
+// distribution used to sanity-check the generators against their targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace plv::graph {
+
+struct GraphStats {
+  vid_t vertices{0};
+  ecount_t undirected_edges{0};
+  weight_t total_weight{0};
+  double avg_degree{0.0};
+  ecount_t max_degree{0};
+  vid_t isolated_vertices{0};
+  ecount_t self_loops{0};
+};
+
+[[nodiscard]] GraphStats graph_stats(const Csr& g);
+
+/// degree_histogram()[d] = number of vertices with (unweighted) degree d.
+[[nodiscard]] std::vector<std::uint64_t> degree_histogram(const Csr& g);
+
+/// Estimates the power-law exponent of the degree distribution by a
+/// discrete MLE (Clauset-Shalizi-Newman) over degrees >= d_min. Returns 0
+/// when fewer than two vertices qualify.
+[[nodiscard]] double degree_powerlaw_exponent(const Csr& g, ecount_t d_min = 4);
+
+}  // namespace plv::graph

@@ -1,0 +1,53 @@
+#include "metrics/clustering.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace plv::metrics {
+
+TriangleCounts count_triangles(const graph::Csr& g) {
+  TriangleCounts out;
+  const vid_t n = g.num_vertices();
+
+  // Effective degree excluding self loops, for the wedge count.
+  for (vid_t v = 0; v < n; ++v) {
+    std::uint64_t d = 0;
+    g.for_each_neighbor(v, [&](vid_t u, weight_t) {
+      if (u != v) ++d;
+    });
+    out.wedges += d * (d - 1) / 2;
+  }
+
+  // Count each triangle once via the u < v < w orientation: for every
+  // edge (u,v) with u < v, intersect the >v suffixes of both sorted rows.
+  for (vid_t u = 0; u < n; ++u) {
+    const auto nbr_u = g.neighbors(u);
+    for (vid_t v : nbr_u) {
+      if (v <= u) continue;
+      const auto nbr_v = g.neighbors(v);
+      // Two-pointer intersection of the w > v regions.
+      auto it_u = std::upper_bound(nbr_u.begin(), nbr_u.end(), v);
+      auto it_v = std::upper_bound(nbr_v.begin(), nbr_v.end(), v);
+      while (it_u != nbr_u.end() && it_v != nbr_v.end()) {
+        if (*it_u < *it_v) {
+          ++it_u;
+        } else if (*it_v < *it_u) {
+          ++it_v;
+        } else {
+          ++out.triangles;
+          ++it_u;
+          ++it_v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double global_clustering_coefficient(const graph::Csr& g) {
+  const TriangleCounts t = count_triangles(g);
+  if (t.wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(t.triangles) / static_cast<double>(t.wedges);
+}
+
+}  // namespace plv::metrics

@@ -1,0 +1,38 @@
+#include "metrics/modularity.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace plv::metrics {
+
+CommunityWeights community_weights(const graph::Csr& g, const std::vector<vid_t>& labels) {
+  assert(labels.size() >= g.num_vertices());
+  vid_t max_label = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) max_label = std::max(max_label, labels[v]);
+  CommunityWeights w;
+  w.sigma_in.assign(static_cast<std::size_t>(max_label) + 1, 0.0);
+  w.sigma_tot.assign(static_cast<std::size_t>(max_label) + 1, 0.0);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const vid_t cu = labels[u];
+    w.sigma_tot[cu] += g.strength(u);
+    g.for_each_neighbor(u, [&](vid_t v, weight_t a) {
+      if (labels[v] == cu) w.sigma_in[cu] += a;  // ordered pairs: counted twice
+    });
+  }
+  return w;
+}
+
+double modularity(const graph::Csr& g, const std::vector<vid_t>& labels,
+                  double resolution) {
+  const weight_t two_m = g.two_m();
+  if (two_m <= 0 || g.num_vertices() == 0) return 0.0;
+  const CommunityWeights w = community_weights(g, labels);
+  double q = 0.0;
+  for (std::size_t c = 0; c < w.sigma_tot.size(); ++c) {
+    const double tot = w.sigma_tot[c] / two_m;
+    q += w.sigma_in[c] / two_m - resolution * tot * tot;
+  }
+  return q;
+}
+
+}  // namespace plv::metrics

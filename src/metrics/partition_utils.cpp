@@ -1,0 +1,51 @@
+#include "metrics/partition_utils.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+
+namespace plv::metrics {
+
+std::size_t normalize_labels(std::vector<vid_t>& labels) {
+  std::unordered_map<vid_t, vid_t> remap;
+  remap.reserve(labels.size() / 4 + 1);
+  for (vid_t& label : labels) {
+    auto [it, inserted] = remap.try_emplace(label, static_cast<vid_t>(remap.size()));
+    label = it->second;
+  }
+  return remap.size();
+}
+
+std::size_t count_communities(const std::vector<vid_t>& labels) {
+  std::vector<vid_t> copy = labels;
+  std::sort(copy.begin(), copy.end());
+  return static_cast<std::size_t>(
+      std::unique(copy.begin(), copy.end()) - copy.begin());
+}
+
+std::vector<std::uint64_t> community_sizes(const std::vector<vid_t>& labels) {
+  std::vector<vid_t> normalized = labels;
+  const std::size_t k = normalize_labels(normalized);
+  std::vector<std::uint64_t> sizes(k, 0);
+  for (vid_t c : normalized) ++sizes[c];
+  return sizes;
+}
+
+double evolution_ratio(const std::vector<vid_t>& labels) {
+  if (labels.empty()) return 0.0;
+  return static_cast<double>(count_communities(labels)) /
+         static_cast<double>(labels.size());
+}
+
+std::vector<std::uint64_t> size_distribution_log2(const std::vector<vid_t>& labels) {
+  std::vector<std::uint64_t> dist;
+  for (std::uint64_t size : community_sizes(labels)) {
+    const unsigned bin = log2_floor(size);
+    if (dist.size() <= bin) dist.resize(bin + 1, 0);
+    ++dist[bin];
+  }
+  return dist;
+}
+
+}  // namespace plv::metrics

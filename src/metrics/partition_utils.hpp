@@ -1,0 +1,33 @@
+// Utilities over partitions (label vectors): normalization, sizes,
+// evolution ratio, and size distributions — the raw material for the
+// paper's Fig. 4b (evolution ratio) and Fig. 5 (size distribution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace plv::metrics {
+
+/// Relabels communities to dense ids 0..k-1 (first-seen order).
+/// Returns the number of distinct communities k.
+std::size_t normalize_labels(std::vector<vid_t>& labels);
+
+/// Number of distinct labels (does not modify input).
+[[nodiscard]] std::size_t count_communities(const std::vector<vid_t>& labels);
+
+/// Member count per community, indexed by normalized label.
+[[nodiscard]] std::vector<std::uint64_t> community_sizes(const std::vector<vid_t>& labels);
+
+/// |communities| / |V| — the paper's evolution ratio (Fig. 4b). A value of
+/// 1 means nothing merged; lower is better.
+[[nodiscard]] double evolution_ratio(const std::vector<vid_t>& labels);
+
+/// Size-distribution histogram with power-of-two size bins: slot i counts
+/// communities of size in [2^i, 2^(i+1)). Matches Fig. 5's log-binned
+/// x-axis.
+[[nodiscard]] std::vector<std::uint64_t> size_distribution_log2(
+    const std::vector<vid_t>& labels);
+
+}  // namespace plv::metrics

@@ -1,0 +1,51 @@
+#include "metrics/quality.hpp"
+
+#include <algorithm>
+
+#include "metrics/modularity.hpp"
+#include "metrics/partition_utils.hpp"
+
+namespace plv::metrics {
+
+double coverage(const graph::Csr& g, const std::vector<vid_t>& labels) {
+  if (g.two_m() <= 0) return 0.0;
+  const CommunityWeights w = community_weights(g, labels);
+  double in = 0.0;
+  for (double s : w.sigma_in) in += s;
+  return in / g.two_m();
+}
+
+ConductanceSummary conductance(const graph::Csr& g, const std::vector<vid_t>& labels) {
+  std::vector<vid_t> normalized(labels.begin(),
+                                labels.begin() + g.num_vertices());
+  const std::size_t k = normalize_labels(normalized);
+
+  std::vector<double> volume(k, 0.0);
+  std::vector<double> cut(k, 0.0);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    const vid_t cu = normalized[u];
+    volume[cu] += g.strength(u);
+    g.for_each_neighbor(u, [&](vid_t v, weight_t a) {
+      if (normalized[v] != cu) cut[cu] += a;
+    });
+  }
+  const double total = g.two_m();
+
+  ConductanceSummary s;
+  s.per_community.resize(k, 0.0);
+  std::size_t counted = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double denom = std::min(volume[c], total - volume[c]);
+    const double phi = denom > 0 ? cut[c] / denom : 0.0;
+    s.per_community[c] = phi;
+    s.max = std::max(s.max, phi);
+    if (volume[c] > 0) {
+      s.mean += phi;
+      ++counted;
+    }
+  }
+  if (counted > 0) s.mean /= static_cast<double>(counted);
+  return s;
+}
+
+}  // namespace plv::metrics

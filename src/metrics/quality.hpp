@@ -1,0 +1,32 @@
+// Additional partition quality measures beyond modularity: coverage,
+// performance, and per-community conductance. Modularity is the paper's
+// headline metric (Eq. 3), but community-detection practice cross-checks
+// against these — they expose pathologies (e.g. one giant community has
+// coverage 1 but terrible conductance balance) that modularity alone
+// can mask.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace plv::metrics {
+
+/// Fraction of edge weight that is intra-community: Σ_c Σin_c / 2m.
+/// 1 when no edge crosses communities.
+[[nodiscard]] double coverage(const graph::Csr& g, const std::vector<vid_t>& labels);
+
+/// Conductance of one community c: cut(c) / min(vol(c), vol(V∖c)) where
+/// cut is the weight leaving c and vol is the summed strength. Lower is
+/// better; 0 for a disconnected community.
+struct ConductanceSummary {
+  std::vector<double> per_community;  // indexed by normalized label
+  double max{0.0};
+  double mean{0.0};  // unweighted mean over communities with volume > 0
+};
+
+[[nodiscard]] ConductanceSummary conductance(const graph::Csr& g,
+                                             const std::vector<vid_t>& labels);
+
+}  // namespace plv::metrics

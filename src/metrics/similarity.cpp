@@ -1,0 +1,160 @@
+#include "metrics/similarity.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "metrics/partition_utils.hpp"
+
+namespace plv::metrics {
+
+namespace {
+
+/// Sparse contingency table n_ij = |{v : a(v)=i, b(v)=j}| with marginals.
+struct Contingency {
+  std::unordered_map<std::uint64_t, std::uint64_t> cells;  // (i<<32|j) -> count
+  std::vector<std::uint64_t> row;                          // |a_i|
+  std::vector<std::uint64_t> col;                          // |b_j|
+  std::uint64_t n{0};
+
+  static Contingency build(const std::vector<vid_t>& a_in, const std::vector<vid_t>& b_in) {
+    if (a_in.size() != b_in.size() || a_in.empty()) {
+      throw std::invalid_argument("similarity: labelings must be non-empty, equal length");
+    }
+    std::vector<vid_t> a = a_in;
+    std::vector<vid_t> b = b_in;
+    const std::size_t ka = normalize_labels(a);
+    const std::size_t kb = normalize_labels(b);
+    Contingency t;
+    t.n = a.size();
+    t.row.assign(ka, 0);
+    t.col.assign(kb, 0);
+    t.cells.reserve(std::max(ka, kb) * 2);
+    for (std::size_t v = 0; v < a.size(); ++v) {
+      ++t.row[a[v]];
+      ++t.col[b[v]];
+      ++t.cells[pack_key(a[v], b[v])];
+    }
+    return t;
+  }
+};
+
+[[nodiscard]] double choose2(std::uint64_t x) noexcept {
+  return 0.5 * static_cast<double>(x) * static_cast<double>(x - 1);
+}
+
+struct PairCounts {
+  double s_ab{0.0};  // Σ_ij C(n_ij, 2): pairs together in both
+  double s_a{0.0};   // Σ_i C(a_i, 2)
+  double s_b{0.0};   // Σ_j C(b_j, 2)
+  double total{0.0}; // C(n, 2)
+};
+
+PairCounts pair_counts(const Contingency& t) {
+  PairCounts p;
+  for (const auto& [key, count] : t.cells) p.s_ab += choose2(count);
+  for (auto a : t.row) p.s_a += choose2(a);
+  for (auto b : t.col) p.s_b += choose2(b);
+  p.total = choose2(t.n);
+  return p;
+}
+
+double nmi_of(const Contingency& t) {
+  const double n = static_cast<double>(t.n);
+  double mutual = 0.0;
+  for (const auto& [key, count] : t.cells) {
+    const double nij = static_cast<double>(count);
+    const double ai = static_cast<double>(t.row[key_hi(key)]);
+    const double bj = static_cast<double>(t.col[key_lo(key)]);
+    mutual += (nij / n) * std::log(n * nij / (ai * bj));
+  }
+  double ha = 0.0, hb = 0.0;
+  for (auto a : t.row) {
+    const double p = static_cast<double>(a) / n;
+    if (p > 0) ha -= p * std::log(p);
+  }
+  for (auto b : t.col) {
+    const double p = static_cast<double>(b) / n;
+    if (p > 0) hb -= p * std::log(p);
+  }
+  if (ha + hb == 0.0) return 1.0;  // both partitions trivial and identical
+  return 2.0 * mutual / (ha + hb);
+}
+
+double f_measure_of(const Contingency& t) {
+  // Weighted best-match F1: each community i of A is matched with the
+  // community j of B maximizing F1(i,j) = 2 n_ij / (a_i + b_j).
+  std::vector<double> best(t.row.size(), 0.0);
+  for (const auto& [key, count] : t.cells) {
+    const std::size_t i = key_hi(key);
+    const std::size_t j = key_lo(key);
+    const double f1 = 2.0 * static_cast<double>(count) /
+                      static_cast<double>(t.row[i] + t.col[j]);
+    best[i] = std::max(best[i], f1);
+  }
+  double f = 0.0;
+  for (std::size_t i = 0; i < t.row.size(); ++i) {
+    f += static_cast<double>(t.row[i]) / static_cast<double>(t.n) * best[i];
+  }
+  return f;
+}
+
+double nvd_of(const Contingency& t) {
+  // Van Dongen: D = 2n − Σ_i max_j n_ij − Σ_j max_i n_ij; NVD = D / (2n).
+  std::vector<std::uint64_t> row_max(t.row.size(), 0);
+  std::vector<std::uint64_t> col_max(t.col.size(), 0);
+  for (const auto& [key, count] : t.cells) {
+    row_max[key_hi(key)] = std::max(row_max[key_hi(key)], count);
+    col_max[key_lo(key)] = std::max(col_max[key_lo(key)], count);
+  }
+  std::uint64_t sum = 0;
+  for (auto m : row_max) sum += m;
+  for (auto m : col_max) sum += m;
+  const double two_n = 2.0 * static_cast<double>(t.n);
+  return (two_n - static_cast<double>(sum)) / two_n;
+}
+
+}  // namespace
+
+SimilarityScores similarity(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  const Contingency t = Contingency::build(a, b);
+  const PairCounts p = pair_counts(t);
+  SimilarityScores s;
+  s.nmi = nmi_of(t);
+  s.f_measure = f_measure_of(t);
+  s.nvd = nvd_of(t);
+  if (p.total > 0) {
+    s.rand_index = (p.total + 2.0 * p.s_ab - p.s_a - p.s_b) / p.total;
+    const double expected = p.s_a * p.s_b / p.total;
+    const double denom = 0.5 * (p.s_a + p.s_b) - expected;
+    s.adjusted_rand_index = denom == 0.0 ? 1.0 : (p.s_ab - expected) / denom;
+  } else {
+    s.rand_index = 1.0;
+    s.adjusted_rand_index = 1.0;
+  }
+  const double ji_denom = p.s_a + p.s_b - p.s_ab;
+  s.jaccard_index = ji_denom == 0.0 ? 1.0 : p.s_ab / ji_denom;
+  return s;
+}
+
+double nmi(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  return nmi_of(Contingency::build(a, b));
+}
+double f_measure(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  return f_measure_of(Contingency::build(a, b));
+}
+double normalized_van_dongen(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  return nvd_of(Contingency::build(a, b));
+}
+double rand_index(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  return similarity(a, b).rand_index;
+}
+double adjusted_rand_index(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  return similarity(a, b).adjusted_rand_index;
+}
+double jaccard_index(const std::vector<vid_t>& a, const std::vector<vid_t>& b) {
+  return similarity(a, b).jaccard_index;
+}
+
+}  // namespace plv::metrics

@@ -1,0 +1,43 @@
+// Partition similarity metrics — the full Table III battery.
+//
+// The paper groups them in three families (Section V-B):
+//   * information-theoretic: NMI;
+//   * cluster matching: F-measure, Normalized Van Dongen (NVD);
+//   * pair counting: Rand Index (RI), Adjusted Rand Index (ARI),
+//     Jaccard Index (JI).
+// Identical partitions give NVD = 0 and all others = 1 (paper footnote 1).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace plv::metrics {
+
+struct SimilarityScores {
+  double nmi{0.0};
+  double f_measure{0.0};
+  double nvd{0.0};
+  double rand_index{0.0};
+  double adjusted_rand_index{0.0};
+  double jaccard_index{0.0};
+};
+
+/// Computes all Table III metrics between two labelings of the same
+/// vertex set. Label values are arbitrary (normalized internally).
+/// Precondition: a.size() == b.size() and both non-empty.
+[[nodiscard]] SimilarityScores similarity(const std::vector<vid_t>& a,
+                                          const std::vector<vid_t>& b);
+
+/// Individual metrics (each recomputes the contingency table; use
+/// similarity() when you need several).
+[[nodiscard]] double nmi(const std::vector<vid_t>& a, const std::vector<vid_t>& b);
+[[nodiscard]] double f_measure(const std::vector<vid_t>& a, const std::vector<vid_t>& b);
+[[nodiscard]] double normalized_van_dongen(const std::vector<vid_t>& a,
+                                           const std::vector<vid_t>& b);
+[[nodiscard]] double rand_index(const std::vector<vid_t>& a, const std::vector<vid_t>& b);
+[[nodiscard]] double adjusted_rand_index(const std::vector<vid_t>& a,
+                                         const std::vector<vid_t>& b);
+[[nodiscard]] double jaccard_index(const std::vector<vid_t>& a, const std::vector<vid_t>& b);
+
+}  // namespace plv::metrics

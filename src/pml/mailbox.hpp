@@ -1,0 +1,69 @@
+// Per-rank mailbox: a multi-producer single-consumer queue of byte chunks.
+//
+// Models the receive side of the paper's fine-grained messaging layer
+// (refs [27]-[29]): senders deposit coalesced chunks of fixed-size records,
+// the owning rank drains them and hashes the records in place.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace plv::pml {
+
+/// One delivered chunk: raw bytes from a single sender. The record type is
+/// a per-phase SPMD convention (every rank sends/receives the same T).
+struct Chunk {
+  int source{0};
+  std::vector<std::byte> bytes;
+};
+
+class Mailbox {
+ public:
+  /// Deposits a chunk (thread-safe, called by any sender).
+  void push(int source, const void* data, std::size_t size) {
+    Chunk chunk;
+    chunk.source = source;
+    chunk.bytes.resize(size);
+    std::memcpy(chunk.bytes.data(), data, size);
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.push_back(std::move(chunk));
+    }
+    cv_.notify_one();
+  }
+
+  /// Pops one chunk if available (non-blocking). Returns false when empty.
+  bool try_pop(Chunk& out) {
+    std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  /// Drains everything currently queued into `out` (appends).
+  std::size_t drain(std::vector<Chunk>& out) {
+    std::scoped_lock lock(mutex_);
+    const std::size_t n = queue_.size();
+    for (auto& chunk : queue_) out.push_back(std::move(chunk));
+    queue_.clear();
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const {
+    std::scoped_lock lock(mutex_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Chunk> queue_;
+};
+
+}  // namespace plv::pml

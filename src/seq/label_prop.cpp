@@ -1,0 +1,70 @@
+#include "seq/label_prop.hpp"
+
+#include <numeric>
+
+#include "common/random.hpp"
+
+namespace plv::seq {
+
+LabelPropResult label_propagation(const graph::Csr& g, const LabelPropOptions& opts) {
+  const vid_t n = g.num_vertices();
+  LabelPropResult result;
+  result.labels.resize(n);
+  std::iota(result.labels.begin(), result.labels.end(), vid_t{0});
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<vid_t> order(n);
+  std::iota(order.begin(), order.end(), vid_t{0});
+  if (opts.seed != 0) {
+    Xoshiro256 rng(opts.seed);
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+  }
+
+  // Scratch: accumulated weight per touched label.
+  std::vector<weight_t> weight_of(n, 0.0);
+  std::vector<vid_t> touched;
+  touched.reserve(64);
+
+  const auto min_changes =
+      static_cast<vid_t>(opts.min_change_fraction * static_cast<double>(n));
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    vid_t changes = 0;
+    for (vid_t idx = 0; idx < n; ++idx) {
+      const vid_t u = order[idx];
+      touched.clear();
+      g.for_each_neighbor(u, [&](vid_t v, weight_t a) {
+        if (v == u) return;  // self loops don't vote
+        const vid_t lv = result.labels[v];
+        if (weight_of[lv] == 0.0) touched.push_back(lv);
+        weight_of[lv] += a;
+      });
+      if (touched.empty()) continue;
+      vid_t best = result.labels[u];
+      weight_t best_w = weight_of[best];  // 0 unless a neighbor shares it
+      for (vid_t l : touched) {
+        if (weight_of[l] > best_w || (weight_of[l] == best_w && l < best)) {
+          best = l;
+          best_w = weight_of[l];
+        }
+      }
+      for (vid_t l : touched) weight_of[l] = 0.0;
+      if (best != result.labels[u]) {
+        result.labels[u] = best;
+        ++changes;
+      }
+    }
+    result.iterations = iter + 1;
+    if (changes <= min_changes) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace plv::seq

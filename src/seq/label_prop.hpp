@@ -1,0 +1,37 @@
+// Label propagation (Raghavan, Albert, Kumara 2007) — the baseline family
+// behind several systems the paper compares against: Staudt & Meyerhenke
+// [10], Soman & Narang's GPU algorithm [45], and Ovelgönne's Hadoop
+// ensemble [12] all build on LP. Implemented here as a quality/speed
+// comparator for the Louvain engines: LP is faster per sweep but yields
+// lower modularity and no hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr.hpp"
+
+namespace plv::seq {
+
+struct LabelPropOptions {
+  int max_iterations{64};
+  /// Stop when fewer than this fraction of vertices change label.
+  double min_change_fraction{0.001};
+  /// Seed for the sweep order (0 = natural order) and tie breaking.
+  std::uint64_t seed{1};
+};
+
+struct LabelPropResult {
+  std::vector<vid_t> labels;  // community per vertex (arbitrary ids)
+  int iterations{0};
+  bool converged{false};
+};
+
+/// Asynchronous weighted label propagation: each vertex adopts the label
+/// with the largest incident weight among its neighbors, ties broken by
+/// smallest label; sweeps repeat until (almost) nothing changes.
+[[nodiscard]] LabelPropResult label_propagation(const graph::Csr& g,
+                                                const LabelPropOptions& opts = {});
+
+}  // namespace plv::seq

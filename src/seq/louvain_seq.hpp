@@ -1,0 +1,57 @@
+// Sequential Louvain (Blondel et al. 2008) — the paper's Algorithm 1.
+//
+// This is the quality and performance baseline for every comparison in
+// the paper's Section V: vertices sweep in order, each greedily joining
+// the neighbor community with the highest modularity gain, with updates
+// applied immediately; when a sweep makes no move, the level's
+// communities become supervertices and the graph is coarsened (the
+// outer loop).
+#pragma once
+
+#include <cstdint>
+
+#include "common/louvain.hpp"
+#include "graph/csr.hpp"
+
+namespace plv::seq {
+
+struct SeqOptions {
+  /// Stop the inner loop when a full sweep improves modularity by less
+  /// than this (and stop the outer loop on the same condition across
+  /// levels).
+  double q_tolerance{1e-6};
+  int max_inner_iterations{128};
+  int max_levels{32};
+  /// 0 keeps natural vertex order (deterministic, matches the reference
+  /// implementation); otherwise vertices sweep in a seeded random order.
+  std::uint64_t shuffle_seed{0};
+  /// Record per-iteration move fractions / modularity (Fig. 2 traces).
+  bool record_trace{true};
+  /// Resolution γ of generalized modularity (1 = Newman). Larger values
+  /// favor more, smaller communities — the standard Louvain extension.
+  double resolution{1.0};
+  /// Vertex pruning (Lu, Kalyanaraman, Halappanavar, Choudhury — the
+  /// paper's ref [11]): after a sweep, only vertices with a recently
+  /// moved neighbor are re-evaluated. An approximation — a vertex whose
+  /// neighborhood is quiet can still gain from remote Σtot drift — but
+  /// one that skips most of the sweep after iteration 1 at nearly equal
+  /// quality (see tests/louvain_seq_test "Pruning*").
+  bool prune{false};
+};
+
+/// Runs the full hierarchy on `g` and returns per-level partitions,
+/// modularity, and traces.
+[[nodiscard]] LouvainResult louvain(const graph::Csr& g, const SeqOptions& opts = {});
+
+/// One refinement pass on a single level (no coarsening): sweeps until
+/// convergence, returns the level partition. Exposed separately so tests
+/// can check invariants mid-hierarchy.
+[[nodiscard]] LouvainLevel refine_level(const graph::Csr& g, const SeqOptions& opts);
+
+/// Builds the coarse graph induced by `labels` (dense 0..k-1) on `g`:
+/// supervertex per community, edge weights summed, internal weight as
+/// self loops — the paper's Algorithm 1 lines 24-26.
+[[nodiscard]] graph::Csr coarsen(const graph::Csr& g, const std::vector<vid_t>& labels,
+                                 std::size_t num_communities);
+
+}  // namespace plv::seq

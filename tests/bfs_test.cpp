@@ -1,0 +1,113 @@
+#include "core/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "gen/planted.hpp"
+#include "gen/rmat.hpp"
+
+namespace plv::core {
+namespace {
+
+ParOptions opts_with(int nranks) {
+  ParOptions o;
+  o.nranks = nranks;
+  return o;
+}
+
+TEST(BfsSeq, PathGraphDepths) {
+  graph::EdgeList e;
+  for (vid_t v = 1; v < 8; ++v) e.add(v - 1, v);
+  const auto r = bfs_seq(e, 8, 0);
+  for (vid_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(r.depth[v], v);
+    EXPECT_EQ(r.parent[v], v == 0 ? 0u : v - 1);
+  }
+  EXPECT_EQ(r.reached, 8u);
+  EXPECT_EQ(r.rounds, 8);
+}
+
+TEST(BfsSeq, UnreachedVerticesMarkedInvalid) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(2, 3);
+  const auto r = bfs_seq(e, 5, 0);
+  EXPECT_EQ(r.reached, 2u);
+  EXPECT_EQ(r.depth[2], kInvalidVid);
+  EXPECT_EQ(r.parent[4], kInvalidVid);
+}
+
+TEST(BfsSeq, MinParentTieBreak) {
+  // 1 and 2 both at depth 1 reach 3: parent must be 1.
+  graph::EdgeList e;
+  e.add(0, 2);
+  e.add(0, 1);
+  e.add(2, 3);
+  e.add(1, 3);
+  const auto r = bfs_seq(e, 4, 0);
+  EXPECT_EQ(r.depth[3], 2u);
+  EXPECT_EQ(r.parent[3], 1u);
+}
+
+class BfsPar : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsPar, MatchesSequentialOnPath) {
+  graph::EdgeList e;
+  for (vid_t v = 1; v < 50; ++v) e.add(v - 1, v);
+  const auto seq = bfs_seq(e, 50, 0);
+  const auto par = bfs_parallel(e, 50, 0, opts_with(GetParam()));
+  EXPECT_EQ(par.depth, seq.depth);
+  EXPECT_EQ(par.parent, seq.parent);
+  EXPECT_EQ(par.reached, seq.reached);
+}
+
+TEST_P(BfsPar, MatchesSequentialOnRmat) {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 17;
+  const auto edges = gen::rmat(p);
+  for (vid_t root : {0u, 5u, 100u}) {
+    const auto seq = bfs_seq(edges, 1u << 10, root);
+    const auto par = bfs_parallel(edges, 1u << 10, root, opts_with(GetParam()));
+    EXPECT_EQ(par.depth, seq.depth) << "root " << root;
+    EXPECT_EQ(par.parent, seq.parent) << "root " << root;
+    EXPECT_EQ(par.edges_traversed, seq.edges_traversed) << "root " << root;
+  }
+}
+
+TEST_P(BfsPar, ParentsFormValidBfsTree) {
+  const auto g = gen::planted_partition(
+      {.communities = 4, .community_size = 30, .p_intra = 0.2, .p_inter = 0.05, .seed = 18});
+  const auto r = bfs_parallel(g.edges, 120, 0, opts_with(GetParam()));
+  for (vid_t v = 0; v < 120; ++v) {
+    if (r.depth[v] == kInvalidVid || v == 0) continue;
+    const vid_t p = r.parent[v];
+    ASSERT_NE(p, kInvalidVid);
+    EXPECT_EQ(r.depth[v], r.depth[p] + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, BfsPar, ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "nranks" + std::to_string(info.param);
+                         });
+
+TEST(BfsPar, InvalidRootReturnsEmpty) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  const auto r = bfs_parallel(e, 2, 7, opts_with(2));
+  EXPECT_TRUE(r.parent.empty());
+}
+
+TEST(BfsPar, SelfLoopsIgnored) {
+  graph::EdgeList e;
+  e.add(0, 0, 2.0);
+  e.add(0, 1);
+  const auto r = bfs_parallel(e, 2, 0, opts_with(2));
+  EXPECT_EQ(r.depth[1], 1u);
+  EXPECT_EQ(r.reached, 2u);
+}
+
+}  // namespace
+}  // namespace plv::core

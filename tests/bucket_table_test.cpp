@@ -1,0 +1,67 @@
+#include "hashing/bucket_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace plv::hashing {
+namespace {
+
+TEST(BucketTable, InsertContainsAccumulate) {
+  BucketTable t(64, HashKind::kFibonacci);
+  t.insert_or_add(pack_key(1, 2), 1.0);
+  t.insert_or_add(pack_key(1, 2), 2.0);
+  t.insert_or_add(pack_key(3, 4), 1.0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.contains(pack_key(1, 2)));
+  EXPECT_FALSE(t.contains(pack_key(2, 1)));
+}
+
+TEST(BucketTable, BinCountRoundsToPow2) {
+  BucketTable t(100, HashKind::kFibonacci);
+  EXPECT_EQ(t.bin_count(), 128u);
+}
+
+TEST(BucketTable, StatsCountNonemptyBinsOnly) {
+  // Paper footnote 3: average bin length counts only non-empty bins.
+  BucketTable t(1024, HashKind::kFibonacci);
+  t.insert_or_add(1, 1.0);
+  t.insert_or_add(2, 1.0);
+  const BinStats st = t.stats();
+  EXPECT_EQ(st.entries, 2u);
+  EXPECT_LE(st.nonempty_bins, 2u);
+  EXPECT_GE(st.avg_bin_length, 1.0);
+}
+
+TEST(BucketTable, MaxBinLengthTracksWorstBin) {
+  BucketTable t(16, HashKind::kConcatenated);
+  // Concat hash of keys 0,16,32,... all land in bin 0.
+  for (std::uint64_t i = 0; i < 8; ++i) t.insert_or_add(i * 16, 1.0);
+  EXPECT_EQ(t.stats().max_bin_length, 8u);
+}
+
+TEST(BucketTable, RangeStatsPartitionTheTable) {
+  BucketTable t(256, HashKind::kFibonacci);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) t.insert_or_add(rng(), 1.0);
+  const BinStats full = t.stats();
+  std::uint64_t entries = 0;
+  for (std::size_t first = 0; first < 256; first += 64) {
+    entries += t.stats_range(first, first + 64).entries;
+  }
+  EXPECT_EQ(entries, full.entries);
+}
+
+TEST(BucketTable, FibonacciSpreadsBetterThanConcatOnStructuredKeys) {
+  BucketTable fib(512, HashKind::kFibonacci);
+  BucketTable cat(512, HashKind::kConcatenated);
+  // Structured workload: keys share the low half (same destination).
+  for (vid_t u = 0; u < 4096; ++u) {
+    fib.insert_or_add(pack_key(u, 7) << 9, 1.0);
+    cat.insert_or_add(pack_key(u, 7) << 9, 1.0);
+  }
+  EXPECT_LT(fib.stats().max_bin_length, cat.stats().max_bin_length);
+}
+
+}  // namespace
+}  // namespace plv::hashing

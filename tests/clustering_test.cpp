@@ -1,0 +1,85 @@
+#include "metrics/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "graph/csr.hpp"
+
+namespace plv::metrics {
+namespace {
+
+TEST(Triangles, TriangleGraph) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  const auto g = graph::Csr::from_edges(e);
+  const TriangleCounts t = count_triangles(g);
+  EXPECT_EQ(t.triangles, 1u);
+  EXPECT_EQ(t.wedges, 3u);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 1.0);
+}
+
+TEST(Triangles, CompleteGraphK5) {
+  graph::EdgeList e;
+  for (vid_t u = 0; u < 5; ++u) {
+    for (vid_t v = u + 1; v < 5; ++v) e.add(u, v);
+  }
+  const auto g = graph::Csr::from_edges(e);
+  const TriangleCounts t = count_triangles(g);
+  EXPECT_EQ(t.triangles, 10u);  // C(5,3)
+  EXPECT_EQ(t.wedges, 5u * 6);  // 5 vertices * C(4,2)
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 1.0);
+}
+
+TEST(Triangles, StarHasWedgesButNoTriangles) {
+  graph::EdgeList e;
+  for (vid_t v = 1; v <= 6; ++v) e.add(0, v);
+  const auto g = graph::Csr::from_edges(e);
+  const TriangleCounts t = count_triangles(g);
+  EXPECT_EQ(t.triangles, 0u);
+  EXPECT_EQ(t.wedges, 15u);  // C(6,2)
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 0.0);
+}
+
+TEST(Triangles, PathGraph) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 3);
+  const auto g = graph::Csr::from_edges(e);
+  const TriangleCounts t = count_triangles(g);
+  EXPECT_EQ(t.triangles, 0u);
+  EXPECT_EQ(t.wedges, 2u);
+}
+
+TEST(Triangles, SelfLoopsAreIgnored) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  e.add(0, 0, 3.0);
+  const auto g = graph::Csr::from_edges(e);
+  const TriangleCounts t = count_triangles(g);
+  EXPECT_EQ(t.triangles, 1u);
+  EXPECT_EQ(t.wedges, 3u);
+}
+
+TEST(Triangles, EmptyAndSingleVertex) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(graph::Csr{}), 0.0);
+  graph::EdgeList e;
+  e.add(0, 0, 1.0);
+  const auto g = graph::Csr::from_edges(e);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 0.0);
+}
+
+TEST(Triangles, ErGccMatchesDensity) {
+  // For G(n, m), expected GCC ≈ p = 2m / (n(n-1)).
+  const auto edges = gen::erdos_renyi({.n = 300, .m = 4000, .seed = 6});
+  const auto g = graph::Csr::from_edges(edges, 300);
+  const double p = 2.0 * 4000 / (300.0 * 299.0);
+  EXPECT_NEAR(global_clustering_coefficient(g), p, p * 0.35);
+}
+
+}  // namespace
+}  // namespace plv::metrics

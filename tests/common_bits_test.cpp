@@ -1,0 +1,52 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace plv {
+namespace {
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_floor(1ULL << 50), 50u);
+}
+
+TEST(Types, PackKeyRoundTrips) {
+  const std::uint64_t key = pack_key(0xdeadbeef, 0x12345678);
+  EXPECT_EQ(key_hi(key), 0xdeadbeefu);
+  EXPECT_EQ(key_lo(key), 0x12345678u);
+}
+
+TEST(Types, PackKeyIsInjectiveOnSwaps) {
+  EXPECT_NE(pack_key(1, 2), pack_key(2, 1));
+}
+
+TEST(Types, InvalidVidIsMax) {
+  EXPECT_EQ(kInvalidVid, 0xffffffffu);
+}
+
+}  // namespace
+}  // namespace plv

@@ -1,0 +1,56 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace plv {
+namespace {
+
+Cli make(std::vector<std::string> args) { return Cli(std::move(args)); }
+
+TEST(Cli, ParsesSpaceSeparatedValues) {
+  auto cli = make({"--nodes", "8", "--name", "zeus"});
+  EXPECT_EQ(cli.get_int("nodes", 0), 8);
+  EXPECT_EQ(cli.get_string("name", ""), "zeus");
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  auto cli = make({"--scale=20", "--mu=0.4"});
+  EXPECT_EQ(cli.get_int("scale", 0), 20);
+  EXPECT_DOUBLE_EQ(cli.get_double("mu", 0.0), 0.4);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  auto cli = make({"--verbose", "--fast"});
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_TRUE(cli.get_bool("fast"));
+  EXPECT_FALSE(cli.get_bool("slow"));
+}
+
+TEST(Cli, BooleanExplicitFalse) {
+  auto cli = make({"--heuristic=false", "--trace=0"});
+  EXPECT_FALSE(cli.get_bool("heuristic", true));
+  EXPECT_FALSE(cli.get_bool("trace", true));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  auto cli = make({});
+  EXPECT_EQ(cli.get_int("x", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("y", 2.5), 2.5);
+  EXPECT_EQ(cli.get_string("z", "dflt"), "dflt");
+}
+
+TEST(Cli, PositionalArgumentsPreserved) {
+  auto cli = make({"input.txt", "--scale", "4", "output.txt"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "output.txt");
+}
+
+TEST(Cli, HasDetectsPresence) {
+  auto cli = make({"--present"});
+  EXPECT_TRUE(cli.has("present"));
+  EXPECT_FALSE(cli.has("absent"));
+}
+
+}  // namespace
+}  // namespace plv

@@ -1,0 +1,69 @@
+#include "common/power_law.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace plv {
+namespace {
+
+TEST(PowerLaw, SamplesWithinSupport) {
+  PowerLawSampler s(4, 64, 2.5);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = s(rng);
+    EXPECT_GE(k, 4u);
+    EXPECT_LE(k, 64u);
+  }
+}
+
+TEST(PowerLaw, DegenerateSupportAlwaysReturnsThatValue) {
+  PowerLawSampler s(7, 7, 2.0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s(rng), 7u);
+}
+
+TEST(PowerLaw, HigherExponentSkewsSmaller) {
+  Xoshiro256 rng1(2), rng2(2);
+  PowerLawSampler gentle(2, 128, 1.5);
+  PowerLawSampler steep(2, 128, 3.5);
+  double sum_gentle = 0, sum_steep = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sum_gentle += gentle(rng1);
+    sum_steep += steep(rng2);
+  }
+  EXPECT_GT(sum_gentle, sum_steep);
+}
+
+TEST(PowerLaw, ExponentZeroIsUniform) {
+  PowerLawSampler s(1, 10, 0.0);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(11, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[s(rng)];
+  for (int k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(counts[k], kN / 10, kN / 10 * 0.1);
+  }
+}
+
+TEST(PowerLaw, EmpiricalMeanMatchesAnalyticMean) {
+  PowerLawSampler s(4, 64, 2.0);
+  Xoshiro256 rng(4);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += s(rng);
+  EXPECT_NEAR(sum / kN, s.mean(), 0.1);
+}
+
+TEST(PowerLaw, FrequenciesDecreaseWithK) {
+  PowerLawSampler s(1, 100, 2.5);
+  Xoshiro256 rng(5);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[s(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[5]);
+  EXPECT_GT(counts[5], counts[20]);
+}
+
+}  // namespace
+}  // namespace plv

@@ -1,0 +1,101 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace plv {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mix64, IsAPermutationSample) {
+  // mix64 must not collide on a small dense range (it is bijective).
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 10000; ++x) seen.insert(mix64(x));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanIsHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroAndOneReturnZero) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextBelowIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.next_below(kBound)];
+  for (std::uint64_t b = 0; b < kBound; ++b) {
+    EXPECT_NEAR(counts[b], kN / kBound, kN / kBound * 0.1);
+  }
+}
+
+TEST(Xoshiro256, JumpGivesDisjointStream) {
+  Xoshiro256 a(9);
+  Xoshiro256 b(9);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace plv

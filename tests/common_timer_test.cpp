@@ -1,0 +1,58 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace plv {
+namespace {
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(PhaseTimers, AccumulatesByName) {
+  PhaseTimers timers;
+  timers.add("REFINE", 1.0);
+  timers.add("REFINE", 0.5);
+  timers.add("GRAPH RECONSTRUCTION", 0.25);
+  EXPECT_DOUBLE_EQ(timers.get("REFINE"), 1.5);
+  EXPECT_DOUBLE_EQ(timers.get("GRAPH RECONSTRUCTION"), 0.25);
+  EXPECT_DOUBLE_EQ(timers.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(timers.total(), 1.75);
+}
+
+TEST(PhaseTimers, MergeAndScale) {
+  PhaseTimers a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("y"), 4.0);
+  a.scale(0.5);
+  EXPECT_DOUBLE_EQ(a.get("x"), 1.5);
+  EXPECT_DOUBLE_EQ(a.get("y"), 2.0);
+}
+
+TEST(ScopedPhase, AddsOnDestruction) {
+  PhaseTimers timers;
+  {
+    ScopedPhase p(timers, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(timers.get("scope"), 0.005);
+}
+
+}  // namespace
+}  // namespace plv

@@ -1,0 +1,103 @@
+#include "core/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "gen/planted.hpp"
+#include "gen/rmat.hpp"
+
+namespace plv::core {
+namespace {
+
+ParOptions opts_with(int nranks) {
+  ParOptions o;
+  o.nranks = nranks;
+  return o;
+}
+
+TEST(ComponentsSeq, TwoTrianglesAndIsolated) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(3, 4);
+  const auto r = connected_components_seq(e, 6);
+  EXPECT_EQ(r.num_components, 3u);
+  EXPECT_EQ(r.component[0], 0u);
+  EXPECT_EQ(r.component[2], 0u);
+  EXPECT_EQ(r.component[3], 3u);
+  EXPECT_EQ(r.component[5], 5u);
+}
+
+TEST(ComponentsSeq, ComponentIdIsMinVertex) {
+  graph::EdgeList e;
+  e.add(9, 4);
+  e.add(4, 7);
+  const auto r = connected_components_seq(e, 10);
+  EXPECT_EQ(r.component[9], 4u);
+  EXPECT_EQ(r.component[7], 4u);
+  EXPECT_EQ(r.component[4], 4u);
+}
+
+class ComponentsPar : public ::testing::TestWithParam<int> {};
+
+TEST_P(ComponentsPar, MatchesSequentialOnChains) {
+  // A long path is the worst case for min-label propagation (diameter
+  // rounds) — good stress for the frontier logic.
+  graph::EdgeList e;
+  for (vid_t v = 1; v < 64; ++v) e.add(v - 1, v);
+  const auto seq = connected_components_seq(e, 64);
+  const auto par = connected_components_parallel(e, 64, opts_with(GetParam()));
+  EXPECT_EQ(par.component, seq.component);
+  EXPECT_EQ(par.num_components, 1u);
+}
+
+TEST_P(ComponentsPar, MatchesSequentialOnPlanted) {
+  const auto g = gen::planted_partition(
+      {.communities = 5, .community_size = 20, .p_intra = 0.3, .p_inter = 0.0, .seed = 7});
+  const auto seq = connected_components_seq(g.edges, 100);
+  const auto par = connected_components_parallel(g.edges, 100, opts_with(GetParam()));
+  EXPECT_EQ(par.component, seq.component);
+}
+
+TEST_P(ComponentsPar, MatchesSequentialOnRmat) {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 2;  // sparse: many components
+  p.seed = 8;
+  const auto edges = gen::rmat(p);
+  const auto seq = connected_components_seq(edges, 1u << 10);
+  const auto par = connected_components_parallel(edges, 1u << 10, opts_with(GetParam()));
+  EXPECT_EQ(par.component, seq.component);
+  EXPECT_EQ(par.num_components, seq.num_components);
+  EXPECT_GT(par.num_components, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ComponentsPar, ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "nranks" + std::to_string(info.param);
+                         });
+
+TEST(ComponentsPar, EmptyGraph) {
+  const auto r = connected_components_parallel(graph::EdgeList{}, 0, opts_with(2));
+  EXPECT_TRUE(r.component.empty());
+  EXPECT_EQ(r.num_components, 0u);
+}
+
+TEST(ComponentsPar, SelfLoopsDoNotConnect) {
+  graph::EdgeList e;
+  e.add(0, 0, 2.0);
+  e.add(1, 2);
+  const auto r = connected_components_parallel(e, 3, opts_with(2));
+  EXPECT_EQ(r.num_components, 2u);
+}
+
+TEST(ComponentsPar, RoundsBoundedByDiameter) {
+  graph::EdgeList e;
+  for (vid_t v = 1; v < 32; ++v) e.add(v - 1, v);
+  const auto r = connected_components_parallel(e, 32, opts_with(4));
+  EXPECT_LE(r.rounds, 34);  // diameter + slack for the final empty round
+  EXPECT_GE(r.rounds, 2);
+}
+
+}  // namespace
+}  // namespace plv::core

@@ -1,0 +1,133 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+
+namespace plv::graph {
+namespace {
+
+EdgeList triangle() {
+  EdgeList e;
+  e.add(0, 1, 1.0);
+  e.add(1, 2, 2.0);
+  e.add(0, 2, 3.0);
+  return e;
+}
+
+TEST(Csr, TriangleBasics) {
+  const Csr g = Csr::from_edges(triangle());
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  EXPECT_EQ(g.num_entries(), 6u);  // each edge appears in two rows
+  EXPECT_DOUBLE_EQ(g.two_m(), 12.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(g.strength(0), 4.0);
+  EXPECT_DOUBLE_EQ(g.strength(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.strength(2), 5.0);
+}
+
+TEST(Csr, StrengthSumEqualsTwoM) {
+  const auto edges = gen::erdos_renyi({.n = 500, .m = 3000, .seed = 7});
+  const Csr g = Csr::from_edges(edges);
+  weight_t sum = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) sum += g.strength(v);
+  EXPECT_DOUBLE_EQ(sum, g.two_m());
+}
+
+TEST(Csr, SelfLoopConvention) {
+  EdgeList e;
+  e.add(0, 0, 2.5);  // unordered self-loop weight 2.5
+  e.add(0, 1, 1.0);
+  const Csr g = Csr::from_edges(e);
+  EXPECT_DOUBLE_EQ(g.self_loop(0), 5.0);       // A(0,0) = 2w
+  EXPECT_DOUBLE_EQ(g.strength(0), 6.0);        // 5 + 1
+  EXPECT_DOUBLE_EQ(g.two_m(), 7.0);            // 5 + 2*1
+  EXPECT_EQ(g.num_undirected_edges(), 2u);
+}
+
+TEST(Csr, ParallelEdgesAccumulate) {
+  EdgeList e;
+  e.add(0, 1, 1.0);
+  e.add(1, 0, 2.0);
+  e.add(0, 1, 3.0);
+  const Csr g = Csr::from_edges(e);
+  EXPECT_EQ(g.num_undirected_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.weights(0)[0], 6.0);
+  EXPECT_DOUBLE_EQ(g.two_m(), 12.0);
+}
+
+TEST(Csr, NeighborsAreSorted) {
+  EdgeList e;
+  e.add(5, 1);
+  e.add(5, 9);
+  e.add(5, 3);
+  e.add(5, 7);
+  const Csr g = Csr::from_edges(e);
+  const auto nbrs = g.neighbors(5);
+  for (std::size_t i = 1; i < nbrs.size(); ++i) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+}
+
+TEST(Csr, ExplicitVertexCountAddsIsolatedVertices) {
+  EdgeList e;
+  e.add(0, 1);
+  const Csr g = Csr::from_edges(e, 10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.degree(9), 0u);
+  EXPECT_DOUBLE_EQ(g.strength(9), 0.0);
+}
+
+TEST(Csr, EmptyGraph) {
+  const Csr g = Csr::from_edges(EdgeList{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_undirected_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.two_m(), 0.0);
+}
+
+TEST(Csr, ToEdgesRoundTripsCanonicalForm) {
+  EdgeList original = triangle();
+  original.add(2, 2, 4.0);  // add a self loop
+  const Csr g = Csr::from_edges(original);
+  EdgeList back = g.to_edges();
+  back.canonicalize();
+  original.canonicalize();
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back.edges()[i].u, original.edges()[i].u);
+    EXPECT_EQ(back.edges()[i].v, original.edges()[i].v);
+    EXPECT_DOUBLE_EQ(back.edges()[i].w, original.edges()[i].w);
+  }
+}
+
+TEST(Csr, RoundTripPreservesTwoM) {
+  const auto edges = gen::erdos_renyi({.n = 200, .m = 1000, .seed = 3});
+  const Csr g = Csr::from_edges(edges);
+  const Csr g2 = Csr::from_edges(g.to_edges(), g.num_vertices());
+  EXPECT_DOUBLE_EQ(g.two_m(), g2.two_m());
+  EXPECT_EQ(g.num_entries(), g2.num_entries());
+}
+
+TEST(EdgeListTest, VertexCountAndTotalWeight) {
+  EdgeList e;
+  EXPECT_EQ(e.vertex_count(), 0u);
+  e.add(3, 9, 2.0);
+  e.add(1, 2, 0.5);
+  EXPECT_EQ(e.vertex_count(), 10u);
+  EXPECT_DOUBLE_EQ(e.total_weight(), 2.5);
+}
+
+TEST(EdgeListTest, CanonicalizeMergesAndOrders) {
+  EdgeList e;
+  e.add(2, 1, 1.0);
+  e.add(1, 2, 2.0);
+  e.add(0, 1, 1.0);
+  e.canonicalize();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.edges()[0].u, 0u);
+  EXPECT_EQ(e.edges()[1].u, 1u);
+  EXPECT_EQ(e.edges()[1].v, 2u);
+  EXPECT_DOUBLE_EQ(e.edges()[1].w, 3.0);
+}
+
+}  // namespace
+}  // namespace plv::graph

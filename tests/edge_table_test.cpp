@@ -1,0 +1,147 @@
+#include "hashing/edge_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hpp"
+
+namespace plv::hashing {
+namespace {
+
+TEST(EdgeTable, InsertAndFind) {
+  EdgeTable t;
+  EXPECT_TRUE(t.insert_or_add(pack_key(1, 2), 3.0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.find(pack_key(1, 2)).value(), 3.0);
+  EXPECT_FALSE(t.find(pack_key(2, 1)).has_value());
+}
+
+TEST(EdgeTable, InsertOrAddAccumulates) {
+  EdgeTable t;
+  EXPECT_TRUE(t.insert_or_add(pack_key(7, 9), 1.5));
+  EXPECT_FALSE(t.insert_or_add(pack_key(7, 9), 2.5));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.find(pack_key(7, 9)).value(), 4.0);
+}
+
+TEST(EdgeTable, EmptyTableFindsNothing) {
+  EdgeTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.find(42).has_value());
+  EXPECT_FALSE(t.contains(42));
+}
+
+TEST(EdgeTable, ClearKeepsCapacity) {
+  EdgeTable t(100);
+  const auto cap = t.capacity();
+  for (std::uint64_t i = 0; i < 100; ++i) t.insert_or_add(i, 1.0);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.capacity(), cap);
+  EXPECT_FALSE(t.contains(5));
+}
+
+TEST(EdgeTable, GrowsBeyondInitialReserve) {
+  EdgeTable t(4);
+  for (std::uint64_t i = 0; i < 10000; ++i) t.insert_or_add(i * 7 + 1, 1.0);
+  EXPECT_EQ(t.size(), 10000u);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(t.contains(i * 7 + 1)) << i;
+  }
+}
+
+TEST(EdgeTable, RespectsConfiguredLoadFactor) {
+  EdgeTable t(0, 0.125);
+  for (std::uint64_t i = 1; i <= 1000; ++i) t.insert_or_add(i, 1.0);
+  EXPECT_LE(t.load_factor(), 0.125 + 1e-9);
+}
+
+TEST(EdgeTable, TotalWeightSumsEverything) {
+  EdgeTable t;
+  t.insert_or_add(1, 1.0);
+  t.insert_or_add(2, 2.0);
+  t.insert_or_add(1, 3.0);
+  EXPECT_DOUBLE_EQ(t.total_weight(), 6.0);
+}
+
+TEST(EdgeTable, ForEachVisitsAllEntriesOnce) {
+  EdgeTable t;
+  std::map<std::uint64_t, weight_t> expected;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.next_below(2000);  // force duplicates
+    expected[key] += 1.0;
+    t.insert_or_add(key, 1.0);
+  }
+  std::map<std::uint64_t, weight_t> seen;
+  t.for_each([&](std::uint64_t key, weight_t w) { seen[key] += w; });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(EdgeTable, MatchesReferenceMapUnderRandomWorkload) {
+  EdgeTable t;
+  std::map<std::uint64_t, weight_t> ref;
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = pack_key(static_cast<vid_t>(rng.next_below(300)),
+                                       static_cast<vid_t>(rng.next_below(300)));
+    const weight_t w = static_cast<weight_t>(rng.next_below(10)) + 0.5;
+    t.insert_or_add(key, w);
+    ref[key] += w;
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  for (const auto& [key, w] : ref) {
+    ASSERT_TRUE(t.find(key).has_value());
+    EXPECT_DOUBLE_EQ(t.find(key).value(), w);
+  }
+}
+
+class EdgeTableHashParam : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(EdgeTableHashParam, CorrectUnderEveryHashFunction) {
+  EdgeTable t(0, 0.25, GetParam());
+  for (std::uint64_t i = 0; i < 4096; ++i) t.insert_or_add(i, 2.0);
+  EXPECT_EQ(t.size(), 4096u);
+  for (std::uint64_t i = 0; i < 4096; ++i) ASSERT_TRUE(t.contains(i));
+  EXPECT_DOUBLE_EQ(t.total_weight(), 8192.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EdgeTableHashParam,
+                         ::testing::Values(HashKind::kFibonacci,
+                                           HashKind::kLinearCongruential,
+                                           HashKind::kBitwise,
+                                           HashKind::kConcatenated),
+                         [](const auto& info) {
+                           return std::string(hash_kind_name(info.param));
+                         });
+
+TEST(EdgeTableStats, ProbeLengthsReflectOccupancy) {
+  EdgeTable t(1000, 0.25);
+  for (std::uint64_t i = 0; i < 1000; ++i) t.insert_or_add(mix64(i), 1.0);
+  const TableStats st = t.stats();
+  EXPECT_EQ(st.entries, 1000u);
+  EXPECT_GE(st.avg_probe_length, 1.0);
+  EXPECT_GE(st.max_probe_length, 1u);
+  EXPECT_LT(st.avg_probe_length, 2.0);  // 1/4 load ⇒ short chains
+}
+
+TEST(EdgeTableStats, EmptyTableStats) {
+  EdgeTable t;
+  const TableStats st = t.stats();
+  EXPECT_EQ(st.entries, 0u);
+  EXPECT_DOUBLE_EQ(st.avg_probe_length, 0.0);
+}
+
+TEST(EdgeTableStats, LowerLoadFactorShortensProbes) {
+  EdgeTable dense(1 << 12, 0.9);
+  EdgeTable sparse(1 << 12, 0.125);
+  for (std::uint64_t i = 0; i < (1 << 12); ++i) {
+    dense.insert_or_add(mix64(i) | 1, 1.0);
+    sparse.insert_or_add(mix64(i) | 1, 1.0);
+  }
+  EXPECT_LE(sparse.stats().avg_probe_length, dense.stats().avg_probe_length);
+}
+
+}  // namespace
+}  // namespace plv::hashing

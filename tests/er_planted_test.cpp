@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "gen/er.hpp"
+#include "gen/planted.hpp"
+#include "graph/csr.hpp"
+#include "metrics/modularity.hpp"
+
+namespace plv::gen {
+namespace {
+
+TEST(ErdosRenyi, ProducesRequestedEdges) {
+  const auto edges = erdos_renyi({.n = 100, .m = 500, .seed = 1});
+  EXPECT_EQ(edges.size(), 500u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 100u);
+    EXPECT_LT(e.v, 100u);
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(ErdosRenyi, SelfLoopsOnlyWhenAllowed) {
+  const auto edges = erdos_renyi({.n = 4, .m = 5000, .seed = 2, .allow_self_loops = true});
+  bool any_loop = false;
+  for (const Edge& e : edges) any_loop |= (e.u == e.v);
+  EXPECT_TRUE(any_loop);
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  const auto a = erdos_renyi({.n = 50, .m = 100, .seed = 9});
+  const auto b = erdos_renyi({.n = 50, .m = 100, .seed = 9});
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.edges()[i], b.edges()[i]);
+}
+
+TEST(PlantedPartition, GroundTruthShape) {
+  const auto g = planted_partition({.communities = 5, .community_size = 10, .seed = 1});
+  ASSERT_EQ(g.ground_truth.size(), 50u);
+  for (vid_t v = 0; v < 50; ++v) EXPECT_EQ(g.ground_truth[v], v / 10);
+}
+
+TEST(PlantedPartition, IntraDenserThanInter) {
+  const auto g = planted_partition(
+      {.communities = 4, .community_size = 25, .p_intra = 0.5, .p_inter = 0.02, .seed = 3});
+  std::uint64_t intra = 0, inter = 0;
+  for (const Edge& e : g.edges) {
+    (g.ground_truth[e.u] == g.ground_truth[e.v] ? intra : inter) += 1;
+  }
+  // 4 * C(25,2) * 0.5 = 600 expected intra; C(100,2)-4*C(25,2) pairs * 0.02
+  // = 75 expected inter.
+  EXPECT_GT(intra, inter * 3);
+}
+
+TEST(PlantedPartition, PlantedPartitionHasHighModularity) {
+  const auto g = planted_partition(
+      {.communities = 8, .community_size = 16, .p_intra = 0.8, .p_inter = 0.01, .seed = 5});
+  const auto csr = graph::Csr::from_edges(g.edges, 8 * 16);
+  EXPECT_GT(metrics::modularity(csr, g.ground_truth), 0.6);
+}
+
+TEST(RingOfCliques, StructureIsExact) {
+  const auto g = ring_of_cliques(4, 5);
+  // 4 cliques of C(5,2)=10 edges + 4 bridges.
+  EXPECT_EQ(g.edges.size(), 4u * 10 + 4);
+  ASSERT_EQ(g.ground_truth.size(), 20u);
+  const auto csr = graph::Csr::from_edges(g.edges, 20);
+  // Every vertex has degree 4 within its clique; bridge endpoints get +1.
+  vid_t bridged = 0;
+  for (vid_t v = 0; v < 20; ++v) {
+    EXPECT_GE(csr.degree(v), 4u);
+    EXPECT_LE(csr.degree(v), 5u);
+    if (csr.degree(v) == 5u) ++bridged;
+  }
+  EXPECT_EQ(bridged, 8u);  // two endpoints per bridge
+}
+
+TEST(RingOfCliques, GroundTruthModularityIsNearOptimal) {
+  const auto g = ring_of_cliques(8, 6);
+  const auto csr = graph::Csr::from_edges(g.edges, 48);
+  const double q = metrics::modularity(csr, g.ground_truth);
+  EXPECT_GT(q, 0.7);
+}
+
+TEST(RingOfCliques, SingleCliqueHasNoBridges) {
+  const auto g = ring_of_cliques(1, 4);
+  EXPECT_EQ(g.edges.size(), 6u);
+}
+
+}  // namespace
+}  // namespace plv::gen

@@ -1,0 +1,79 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/rmat.hpp"
+#include "common/power_law.hpp"
+#include "common/random.hpp"
+#include "graph/csr.hpp"
+
+namespace plv::graph {
+namespace {
+
+TEST(GraphStats, SmallGraphCounts) {
+  EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(2, 2, 3.0);  // self loop
+  const auto g = Csr::from_edges(e, 5);
+  const GraphStats s = graph_stats(g);
+  EXPECT_EQ(s.vertices, 5u);
+  EXPECT_EQ(s.undirected_edges, 3u);
+  EXPECT_EQ(s.isolated_vertices, 2u);
+  EXPECT_EQ(s.self_loops, 1u);
+  EXPECT_EQ(s.max_degree, 2u);  // vertex 2's row: {1, 2} (self loop is one entry)
+  EXPECT_DOUBLE_EQ(s.total_weight, 5.0);
+}
+
+TEST(GraphStats, DegreeHistogramSumsToN) {
+  gen::RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 21;
+  const auto g = Csr::from_edges(gen::rmat(p), 1u << 10);
+  const auto hist = degree_histogram(g);
+  EXPECT_EQ(std::accumulate(hist.begin(), hist.end(), 0ULL), 1ULL << 10);
+}
+
+TEST(GraphStats, PowerLawExponentRecoversPlantedGamma) {
+  // Build a configuration-model-ish graph from an explicit power-law
+  // degree sequence and check the MLE gets near the planted exponent.
+  constexpr double kGamma = 2.5;
+  PowerLawSampler sampler(4, 256, kGamma);
+  Xoshiro256 rng(5);
+  std::vector<vid_t> stubs;
+  constexpr vid_t kN = 20000;
+  for (vid_t v = 0; v < kN; ++v) {
+    const auto d = sampler(rng);
+    for (std::uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  if (stubs.size() % 2) stubs.pop_back();
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.next_below(i)]);
+  }
+  EdgeList e;
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) e.add(stubs[i], stubs[i + 1]);
+  }
+  const auto g = Csr::from_edges(e, kN);
+  const double gamma_hat = degree_powerlaw_exponent(g, 4);
+  EXPECT_NEAR(gamma_hat, kGamma, 0.4);
+}
+
+TEST(GraphStats, ExponentZeroWhenTooFewSamples) {
+  EdgeList e;
+  e.add(0, 1);
+  const auto g = Csr::from_edges(e);
+  EXPECT_DOUBLE_EQ(degree_powerlaw_exponent(g, 4), 0.0);
+}
+
+TEST(GraphStats, EmptyGraph) {
+  const GraphStats s = graph_stats(Csr{});
+  EXPECT_EQ(s.vertices, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+}
+
+}  // namespace
+}  // namespace plv::graph

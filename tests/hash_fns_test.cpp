@@ -1,0 +1,97 @@
+#include "hashing/hash_fns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace plv::hashing {
+namespace {
+
+class HashFnTest : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HashFnTest, StaysWithinTable) {
+  const HashKind kind = GetParam();
+  Xoshiro256 rng(1);
+  for (std::uint64_t size : {16ULL, 1024ULL, 1ULL << 20}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(apply_hash(kind, rng(), size), size);
+    }
+  }
+}
+
+TEST_P(HashFnTest, IsDeterministic) {
+  const HashKind kind = GetParam();
+  for (std::uint64_t key : {0ULL, 1ULL, 12345ULL, ~0ULL - 1}) {
+    EXPECT_EQ(apply_hash(kind, key, 4096), apply_hash(kind, key, 4096));
+  }
+}
+
+TEST_P(HashFnTest, NameIsNonEmpty) {
+  EXPECT_STRNE(hash_kind_name(GetParam()), "?");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashFnTest,
+                         ::testing::Values(HashKind::kFibonacci,
+                                           HashKind::kLinearCongruential,
+                                           HashKind::kBitwise,
+                                           HashKind::kConcatenated),
+                         [](const auto& info) {
+                           return std::string(hash_kind_name(info.param));
+                         });
+
+/// Chi-square-ish balance check on sequential edge keys — the workload
+/// shape that motivated the paper's Fig. 6: packed (u,v) keys with small,
+/// correlated halves. Fibonacci and LCG must spread them; concat by
+/// construction cannot.
+double max_bin_share(HashKind kind, std::uint64_t table_size, int keys) {
+  std::vector<int> bins(table_size, 0);
+  for (int u = 0; u < keys; ++u) {
+    ++bins[apply_hash(kind, pack_key(static_cast<vid_t>(u), static_cast<vid_t>(u + 1)),
+                      table_size)];
+  }
+  int max = 0;
+  for (int b : bins) max = std::max(max, b);
+  return static_cast<double>(max) * static_cast<double>(table_size) / keys;
+}
+
+TEST(HashQuality, FibonacciBalancesSequentialEdgeKeys) {
+  // A perfectly uniform spread gives share 1; allow generous slack.
+  EXPECT_LT(max_bin_share(HashKind::kFibonacci, 1024, 100000), 2.0);
+}
+
+TEST(HashQuality, LcgBalancesSequentialEdgeKeys) {
+  EXPECT_LT(max_bin_share(HashKind::kLinearCongruential, 1024, 100000), 2.0);
+}
+
+TEST(HashQuality, FibonacciBeatsBitwiseOnStructuredKeys) {
+  // Bitwise xor-fold collapses correlated halves into few bins.
+  const double fib = max_bin_share(HashKind::kFibonacci, 4096, 100000);
+  const double bitw = max_bin_share(HashKind::kBitwise, 4096, 100000);
+  EXPECT_LT(fib, bitw);
+}
+
+TEST(Eq5Packing, MatchesPaperLayoutFor16BitIds) {
+  EXPECT_EQ(pack_key_eq5(1, 2), (1ULL << 16) | 2ULL);
+  EXPECT_EQ(pack_key_eq5(0xffff, 0xffff), (0xffffULL << 16) | 0xffffULL);
+}
+
+TEST(Eq5Packing, CollidesAbove16Bits) {
+  // Documented limitation of the literal Eq. 5: ids >= 2^16 alias.
+  // (1 << 16) | 0x10000 == 0x10000 == (0 << 16) | 0x10000 — the second id
+  // bleeds into the first id's field.
+  EXPECT_EQ(pack_key_eq5(1, 0x10000), pack_key_eq5(1, 0));
+  EXPECT_EQ(pack_key_eq5(0, 0x10000), pack_key_eq5(1, 0));
+}
+
+TEST(FibonacciHash, MatchesEq6Definition) {
+  // Eq. 6 with W = 2^64 and M = 2^k equals the top k bits of x * (W/φ).
+  const std::uint64_t x = 0x123456789abcdefULL;
+  const std::uint64_t m = 1ULL << 12;
+  const std::uint64_t expected = (x * kFibonacciMultiplier) >> (64 - 12);
+  EXPECT_EQ(fibonacci_hash(x, m), expected);
+}
+
+}  // namespace
+}  // namespace plv::hashing

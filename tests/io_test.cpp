@@ -1,0 +1,91 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace plv::graph {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("plv_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  EdgeList edges;
+  edges.add(0, 1, 1.5);
+  edges.add(2, 3, 2.0);
+  edges.add(4, 4, 0.5);
+  save_edge_list_text(edges, path("g.txt"));
+  const EdgeList loaded = load_edge_list_text(path("g.txt"));
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.edges()[0].u, 0u);
+  EXPECT_DOUBLE_EQ(loaded.edges()[0].w, 1.5);
+  EXPECT_EQ(loaded.edges()[2].v, 4u);
+}
+
+TEST_F(IoTest, TextDefaultsWeightToOne) {
+  std::ofstream out(path("g.txt"));
+  out << "# comment line\n% another comment\n0 1\n1 2 5.5\n";
+  out.close();
+  const EdgeList loaded = load_edge_list_text(path("g.txt"));
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.edges()[0].w, 1.0);
+  EXPECT_DOUBLE_EQ(loaded.edges()[1].w, 5.5);
+}
+
+TEST_F(IoTest, TextRejectsMalformedLines) {
+  std::ofstream out(path("bad.txt"));
+  out << "0 1\nnot an edge\n";
+  out.close();
+  EXPECT_THROW(load_edge_list_text(path("bad.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list_text(path("nope.txt")), std::runtime_error);
+  EXPECT_THROW(load_edge_list_binary(path("nope.bin")), std::runtime_error);
+  EXPECT_THROW(load_communities(path("nope.cm")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTripExact) {
+  EdgeList edges;
+  for (vid_t i = 0; i < 1000; ++i) edges.add(i, i + 1, 0.25 * i);
+  save_edge_list_binary(edges, path("g.bin"));
+  const EdgeList loaded = load_edge_list_binary(path("g.bin"));
+  ASSERT_EQ(loaded.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(loaded.edges()[i], edges.edges()[i]);
+  }
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  std::ofstream out(path("junk.bin"), std::ios::binary);
+  out << "this is not a plouvain file at all.....";
+  out.close();
+  EXPECT_THROW(load_edge_list_binary(path("junk.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, CommunityRoundTrip) {
+  const std::vector<vid_t> labels = {0, 0, 1, 2, 1, 0};
+  save_communities(labels, path("c.txt"));
+  EXPECT_EQ(load_communities(path("c.txt")), labels);
+}
+
+}  // namespace
+}  // namespace plv::graph

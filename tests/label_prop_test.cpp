@@ -1,0 +1,99 @@
+#include "seq/label_prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/lfr.hpp"
+#include "gen/planted.hpp"
+#include "graph/csr.hpp"
+#include "metrics/modularity.hpp"
+#include "metrics/partition_utils.hpp"
+#include "metrics/similarity.hpp"
+#include "seq/louvain_seq.hpp"
+
+namespace plv::seq {
+namespace {
+
+TEST(LabelProp, MostlyRecoversRingOfCliques) {
+  // LPA can merge adjacent cliques across bridges (a known LPA failure
+  // mode — one reason the paper builds on Louvain); it must still find
+  // most of the clique structure.
+  const auto graph = gen::ring_of_cliques(6, 6);
+  const auto g = graph::Csr::from_edges(graph.edges, 36);
+  const LabelPropResult r = label_propagation(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(metrics::nmi(r.labels, graph.ground_truth), 0.75);
+  const auto k = metrics::count_communities(r.labels);
+  EXPECT_GE(k, 3u);
+  EXPECT_LE(k, 6u);
+}
+
+TEST(LabelProp, RecoversStrongPlantedPartition) {
+  const auto graph = gen::planted_partition(
+      {.communities = 6, .community_size = 20, .p_intra = 0.8, .p_inter = 0.01, .seed = 3});
+  const auto g = graph::Csr::from_edges(graph.edges, 120);
+  const LabelPropResult r = label_propagation(g);
+  EXPECT_GT(metrics::nmi(r.labels, graph.ground_truth), 0.9);
+}
+
+TEST(LabelProp, ConvergesWithinBudget) {
+  const auto graph = gen::lfr({.n = 2000, .mu = 0.3, .seed = 4});
+  const auto g = graph::Csr::from_edges(graph.edges, 2000);
+  const LabelPropResult r = label_propagation(g);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 64);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(LabelProp, LouvainBeatsItOnModularity) {
+  // The reason the paper builds on Louvain rather than LP (Section VI):
+  // LP is fast but produces lower-modularity partitions.
+  const auto graph = gen::lfr({.n = 2000, .mu = 0.4, .seed = 5});
+  const auto g = graph::Csr::from_edges(graph.edges, 2000);
+  const LabelPropResult lp = label_propagation(g);
+  const LouvainResult lv = louvain(g);
+  EXPECT_GE(lv.final_modularity, metrics::modularity(g, lp.labels) - 1e-9);
+}
+
+TEST(LabelProp, EmptyGraph) {
+  const LabelPropResult r = label_propagation(graph::Csr{});
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(LabelProp, IsolatedVerticesKeepOwnLabels) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  const auto g = graph::Csr::from_edges(e, 4);
+  const LabelPropResult r = label_propagation(g);
+  EXPECT_EQ(r.labels[0], r.labels[1]);
+  EXPECT_EQ(r.labels[2], 2u);
+  EXPECT_EQ(r.labels[3], 3u);
+}
+
+TEST(LabelProp, DeterministicForFixedSeed) {
+  const auto graph = gen::lfr({.n = 1000, .mu = 0.3, .seed = 6});
+  const auto g = graph::Csr::from_edges(graph.edges, 1000);
+  LabelPropOptions opts;
+  opts.seed = 42;
+  const LabelPropResult a = label_propagation(g, opts);
+  const LabelPropResult b = label_propagation(g, opts);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(LabelProp, WeightedVotesDominate) {
+  // Vertex 2 connects to community {0,1} with weight 1 each and to
+  // vertex 3 with weight 10: it must side with 3.
+  graph::EdgeList e;
+  e.add(0, 1, 5.0);
+  e.add(0, 2, 1.0);
+  e.add(1, 2, 1.0);
+  e.add(2, 3, 10.0);
+  e.add(3, 4, 5.0);
+  const auto g = graph::Csr::from_edges(e, 5);
+  const LabelPropResult r = label_propagation(g);
+  EXPECT_EQ(r.labels[2], r.labels[3]);
+}
+
+}  // namespace
+}  // namespace plv::seq

@@ -1,0 +1,123 @@
+#include "gen/lfr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "metrics/modularity.hpp"
+#include "metrics/partition_utils.hpp"
+
+namespace plv::gen {
+namespace {
+
+LfrParams small(double mu, std::uint64_t seed = 1) {
+  return LfrParams{.n = 2000,
+                   .k_min = 8,
+                   .k_max = 40,
+                   .gamma = 2.5,
+                   .c_min = 20,
+                   .c_max = 100,
+                   .beta = 1.5,
+                   .mu = mu,
+                   .seed = seed};
+}
+
+TEST(Lfr, GroundTruthCoversAllVertices) {
+  const auto g = lfr(small(0.3));
+  ASSERT_EQ(g.ground_truth.size(), 2000u);
+  EXPECT_GT(g.num_communities, 10u);
+  for (vid_t label : g.ground_truth) {
+    EXPECT_LT(label, g.num_communities);
+  }
+}
+
+TEST(Lfr, CommunitySizesWithinBounds) {
+  const auto g = lfr(small(0.3));
+  const auto sizes = metrics::community_sizes(g.ground_truth);
+  for (std::uint64_t s : sizes) {
+    EXPECT_GE(s, 2u);     // merge rule can only grow the minimum
+    EXPECT_LE(s, 200u);   // c_max plus one merged remainder
+  }
+}
+
+TEST(Lfr, MixingParameterIsApproximatelyRealized) {
+  for (double mu : {0.1, 0.3, 0.5}) {
+    const auto g = lfr(small(mu));
+    std::uint64_t inter = 0;
+    for (const Edge& e : g.edges) {
+      if (g.ground_truth[e.u] != g.ground_truth[e.v]) ++inter;
+    }
+    const double realized = static_cast<double>(inter) / static_cast<double>(g.edges.size());
+    EXPECT_NEAR(realized, mu, 0.12) << "mu=" << mu;
+  }
+}
+
+TEST(Lfr, LowMixingGivesHighGroundTruthModularity) {
+  const auto g = lfr(small(0.1));
+  const auto csr = graph::Csr::from_edges(g.edges, 2000);
+  EXPECT_GT(metrics::modularity(csr, g.ground_truth), 0.6);
+}
+
+TEST(Lfr, ModularityDecreasesWithMixing) {
+  const auto g1 = lfr(small(0.1));
+  const auto g2 = lfr(small(0.6));
+  const auto c1 = graph::Csr::from_edges(g1.edges, 2000);
+  const auto c2 = graph::Csr::from_edges(g2.edges, 2000);
+  EXPECT_GT(metrics::modularity(c1, g1.ground_truth),
+            metrics::modularity(c2, g2.ground_truth) + 0.1);
+}
+
+TEST(Lfr, DegreesApproximatelyFollowRequestedRange) {
+  const auto g = lfr(small(0.3));
+  const auto csr = graph::Csr::from_edges(g.edges, 2000);
+  double avg = 0;
+  for (vid_t v = 0; v < 2000; ++v) avg += static_cast<double>(csr.degree(v));
+  avg /= 2000;
+  // Power law (8..40, gamma 2.5) has mean ~12; stub drops lose a little.
+  EXPECT_GT(avg, 7.0);
+  EXPECT_LT(avg, 25.0);
+}
+
+TEST(Lfr, DeterministicForFixedSeed) {
+  const auto a = lfr(small(0.4, 7));
+  const auto b = lfr(small(0.4, 7));
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  EXPECT_EQ(a.ground_truth, b.ground_truth);
+  for (std::size_t i = 0; i < a.edges.size(); ++i) {
+    EXPECT_EQ(a.edges.edges()[i], b.edges.edges()[i]);
+  }
+}
+
+TEST(Lfr, NoSelfLoopsOrDuplicates) {
+  auto g = lfr(small(0.3));
+  const std::size_t before = g.edges.size();
+  for (const Edge& e : g.edges) EXPECT_NE(e.u, e.v);
+  g.edges.canonicalize();
+  EXPECT_EQ(g.edges.size(), before);  // canonicalize merges duplicates; none expected
+}
+
+TEST(Lfr, DroppedStubsAreSmallFraction) {
+  const auto g = lfr(small(0.3));
+  EXPECT_LT(g.dropped_stubs, 2 * g.edges.size() / 10);
+}
+
+TEST(Lfr, RejectsBadParameters) {
+  LfrParams p = small(0.3);
+  p.mu = 1.5;
+  EXPECT_THROW(lfr(p), std::invalid_argument);
+  p = small(0.3);
+  p.k_max = 2;
+  EXPECT_THROW(lfr(p), std::invalid_argument);
+  p = small(0.3);
+  p.c_min = 1;
+  EXPECT_THROW(lfr(p), std::invalid_argument);
+}
+
+TEST(Lfr, MuZeroHasNoInterCommunityEdges) {
+  const auto g = lfr(small(0.0));
+  for (const Edge& e : g.edges) {
+    EXPECT_EQ(g.ground_truth[e.u], g.ground_truth[e.v]);
+  }
+}
+
+}  // namespace
+}  // namespace plv::gen

@@ -1,0 +1,137 @@
+#include "metrics/modularity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/er.hpp"
+#include "gen/planted.hpp"
+#include "graph/csr.hpp"
+
+namespace plv::metrics {
+namespace {
+
+graph::Csr two_cliques_bridge() {
+  // Two triangles joined by one edge: the classic two-community graph.
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  e.add(3, 4);
+  e.add(4, 5);
+  e.add(3, 5);
+  e.add(2, 3);
+  return graph::Csr::from_edges(e);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  const auto g = two_cliques_bridge();
+  const std::vector<vid_t> all_one(6, 0);
+  EXPECT_NEAR(modularity(g, all_one), 0.0, 1e-12);
+}
+
+TEST(Modularity, KnownTwoTriangleValue) {
+  const auto g = two_cliques_bridge();
+  const std::vector<vid_t> split = {0, 0, 0, 1, 1, 1};
+  // m=7; Σin per triangle (ordered) = 6; Σtot per side = 7.
+  // Q = 2*(6/14 − (7/14)²) = 2*(3/7 − 1/4) = 5/14.
+  EXPECT_NEAR(modularity(g, split), 5.0 / 14.0, 1e-12);
+}
+
+TEST(Modularity, SingletonsOfRegularGraphMatchFormula) {
+  // Ring of n vertices: every singleton has Σin=0, Σtot=2 ⇒
+  // Q = −n·(2/2m)² with m=n ⇒ −1/n.
+  graph::EdgeList e;
+  constexpr vid_t n = 12;
+  for (vid_t v = 0; v < n; ++v) e.add(v, (v + 1) % n);
+  const auto g = graph::Csr::from_edges(e);
+  std::vector<vid_t> singletons(n);
+  std::iota(singletons.begin(), singletons.end(), vid_t{0});
+  EXPECT_NEAR(modularity(g, singletons), -1.0 / n, 1e-12);
+}
+
+TEST(Modularity, IsAtMostOneAndAboveMinusHalf) {
+  const auto graph = gen::planted_partition(
+      {.communities = 6, .community_size = 20, .p_intra = 0.6, .p_inter = 0.05, .seed = 2});
+  const auto g = graph::Csr::from_edges(graph.edges, 120);
+  for (std::uint64_t variant = 0; variant < 5; ++variant) {
+    std::vector<vid_t> labels(120);
+    for (vid_t v = 0; v < 120; ++v) labels[v] = (v * (variant + 1)) % 7;
+    const double q = modularity(g, labels);
+    EXPECT_LE(q, 1.0);
+    EXPECT_GE(q, -0.5 - 1e-9);
+  }
+}
+
+TEST(Modularity, SelfLoopsCountAsInternal) {
+  graph::EdgeList e;
+  e.add(0, 0, 5.0);
+  e.add(0, 1, 1.0);
+  const auto g = graph::Csr::from_edges(e);
+  // Everything in one community: Q = 0 still (Σin = 2m).
+  EXPECT_NEAR(modularity(g, {0, 0}), 0.0, 1e-12);
+  // Split: community {0} has Σin = 10 (A(0,0)), Σtot = 11; {1}: 0 and 1.
+  // 2m = 12. Q = 10/12 − (11/12)² + 0 − (1/12)².
+  const double expected = 10.0 / 12 - (11.0 / 12) * (11.0 / 12) - (1.0 / 12) * (1.0 / 12);
+  EXPECT_NEAR(modularity(g, {0, 1}), expected, 1e-12);
+}
+
+TEST(Modularity, EmptyGraphIsZero) {
+  const graph::Csr g;
+  EXPECT_DOUBLE_EQ(modularity(g, {}), 0.0);
+}
+
+TEST(CommunityWeightsTest, MatchesDirectSums) {
+  const auto g = two_cliques_bridge();
+  const std::vector<vid_t> split = {0, 0, 0, 1, 1, 1};
+  const CommunityWeights w = community_weights(g, split);
+  ASSERT_EQ(w.sigma_in.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.sigma_in[0], 6.0);   // ordered pairs inside triangle
+  EXPECT_DOUBLE_EQ(w.sigma_in[1], 6.0);
+  EXPECT_DOUBLE_EQ(w.sigma_tot[0], 7.0);  // 2+2+3
+  EXPECT_DOUBLE_EQ(w.sigma_tot[1], 7.0);
+}
+
+TEST(CommunityWeightsTest, SigmaTotSumsToTwoM) {
+  const auto edges = gen::erdos_renyi({.n = 300, .m = 1500, .seed = 4});
+  const auto g = graph::Csr::from_edges(edges, 300);
+  std::vector<vid_t> labels(300);
+  for (vid_t v = 0; v < 300; ++v) labels[v] = v % 17;
+  const CommunityWeights w = community_weights(g, labels);
+  const double tot = std::accumulate(w.sigma_tot.begin(), w.sigma_tot.end(), 0.0);
+  EXPECT_NEAR(tot, g.two_m(), 1e-9);
+}
+
+TEST(DeltaQ, MatchesDirectModularityDifference) {
+  // Property: delta_q_join computed from local quantities must equal the
+  // difference of full modularity evaluations.
+  const auto graph = gen::planted_partition(
+      {.communities = 4, .community_size = 10, .p_intra = 0.7, .p_inter = 0.05, .seed = 9});
+  const auto g = graph::Csr::from_edges(graph.edges, 40);
+  // Partition: ground truth, but with vertex 0 isolated in its own label.
+  std::vector<vid_t> labels = graph.ground_truth;
+  for (auto& c : labels) c += 1;  // shift so label 0 is free
+  labels[0] = 0;
+
+  const double q_before = modularity(g, labels);
+  // Move vertex 0 into community labels[1].
+  const vid_t target = labels[1];
+  weight_t w_to = 0;
+  g.for_each_neighbor(0, [&](vid_t v, weight_t a) {
+    if (v != 0 && labels[v] == target) w_to += a;
+  });
+  const CommunityWeights w = community_weights(g, labels);
+  const double predicted = delta_q_join(w_to, w.sigma_tot[target], g.strength(0), g.two_m());
+
+  std::vector<vid_t> moved = labels;
+  moved[0] = target;
+  const double q_after = modularity(g, moved);
+  EXPECT_NEAR(q_after - q_before, predicted, 1e-12);
+}
+
+TEST(DeltaQ, ZeroForZeroTwoM) {
+  EXPECT_DOUBLE_EQ(delta_q_join(1.0, 1.0, 1.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace plv::metrics

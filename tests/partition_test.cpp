@@ -1,0 +1,101 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace plv::graph {
+namespace {
+
+struct Case {
+  PartitionKind kind;
+  vid_t n;
+  int nranks;
+};
+
+class PartitionTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PartitionTest, OwnersAreInRange) {
+  const auto [kind, n, nranks] = GetParam();
+  Partition1D part(kind, n, nranks);
+  for (vid_t v = 0; v < n; ++v) {
+    const int owner = part.owner(v);
+    EXPECT_GE(owner, 0);
+    EXPECT_LT(owner, nranks);
+  }
+}
+
+TEST_P(PartitionTest, LocalCountsSumToN) {
+  const auto [kind, n, nranks] = GetParam();
+  Partition1D part(kind, n, nranks);
+  vid_t total = 0;
+  for (int r = 0; r < nranks; ++r) total += part.local_count(r);
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(PartitionTest, LocalCountsMatchOwnership) {
+  const auto [kind, n, nranks] = GetParam();
+  Partition1D part(kind, n, nranks);
+  std::vector<vid_t> counts(static_cast<std::size_t>(nranks), 0);
+  for (vid_t v = 0; v < n; ++v) ++counts[static_cast<std::size_t>(part.owner(v))];
+  for (int r = 0; r < nranks; ++r) EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                                             part.local_count(r));
+}
+
+TEST_P(PartitionTest, GlobalLocalRoundTrip) {
+  const auto [kind, n, nranks] = GetParam();
+  Partition1D part(kind, n, nranks);
+  for (vid_t v = 0; v < n; ++v) {
+    const int owner = part.owner(v);
+    const vid_t local = part.to_local(v);
+    EXPECT_LT(local, part.local_count(owner));
+    EXPECT_EQ(part.to_global(owner, local), v);
+  }
+}
+
+TEST_P(PartitionTest, LoadIsBalancedWithinOne) {
+  const auto [kind, n, nranks] = GetParam();
+  Partition1D part(kind, n, nranks);
+  vid_t lo = n, hi = 0;
+  for (int r = 0; r < nranks; ++r) {
+    lo = std::min(lo, part.local_count(r));
+    hi = std::max(hi, part.local_count(r));
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionTest,
+    ::testing::Values(Case{PartitionKind::kCyclic, 100, 1},
+                      Case{PartitionKind::kCyclic, 100, 4},
+                      Case{PartitionKind::kCyclic, 101, 4},
+                      Case{PartitionKind::kCyclic, 7, 8},
+                      Case{PartitionKind::kBlock, 100, 1},
+                      Case{PartitionKind::kBlock, 100, 4},
+                      Case{PartitionKind::kBlock, 101, 4},
+                      Case{PartitionKind::kBlock, 7, 8},
+                      Case{PartitionKind::kBlock, 1024, 3}),
+    [](const auto& info) {
+      const auto& c = info.param;
+      return std::string(c.kind == PartitionKind::kCyclic ? "cyclic" : "block") + "_n" +
+             std::to_string(c.n) + "_r" + std::to_string(c.nranks);
+    });
+
+TEST(Partition, CyclicIsModulo) {
+  Partition1D part(PartitionKind::kCyclic, 100, 4);
+  for (vid_t v = 0; v < 100; ++v) EXPECT_EQ(part.owner(v), static_cast<int>(v % 4));
+}
+
+TEST(Partition, BlockIsContiguous) {
+  Partition1D part(PartitionKind::kBlock, 10, 3);
+  // 10 = 4 + 3 + 3.
+  EXPECT_EQ(part.owner(0), 0);
+  EXPECT_EQ(part.owner(3), 0);
+  EXPECT_EQ(part.owner(4), 1);
+  EXPECT_EQ(part.owner(6), 1);
+  EXPECT_EQ(part.owner(7), 2);
+  EXPECT_EQ(part.owner(9), 2);
+}
+
+}  // namespace
+}  // namespace plv::graph

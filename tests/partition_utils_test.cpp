@@ -1,0 +1,65 @@
+#include "metrics/partition_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace plv::metrics {
+namespace {
+
+TEST(PartitionUtils, NormalizeLabelsFirstSeenOrder) {
+  std::vector<vid_t> labels = {7, 7, 3, 9, 3};
+  const std::size_t k = normalize_labels(labels);
+  EXPECT_EQ(k, 3u);
+  EXPECT_EQ(labels, (std::vector<vid_t>{0, 0, 1, 2, 1}));
+}
+
+TEST(PartitionUtils, NormalizeIdempotent) {
+  std::vector<vid_t> labels = {0, 1, 2, 1, 0};
+  std::vector<vid_t> copy = labels;
+  normalize_labels(copy);
+  EXPECT_EQ(copy, labels);
+}
+
+TEST(PartitionUtils, CountCommunities) {
+  EXPECT_EQ(count_communities({5, 5, 5}), 1u);
+  EXPECT_EQ(count_communities({1, 2, 3, 2, 1}), 3u);
+}
+
+TEST(PartitionUtils, CommunitySizes) {
+  const auto sizes = community_sizes({4, 4, 9, 4, 9});
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 3u);  // label 4 seen first
+  EXPECT_EQ(sizes[1], 2u);
+}
+
+TEST(PartitionUtils, SizesSumToVertexCount) {
+  std::vector<vid_t> labels(1000);
+  for (std::size_t v = 0; v < 1000; ++v) labels[v] = static_cast<vid_t>(v % 37);
+  const auto sizes = community_sizes(labels);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0ULL), 1000u);
+}
+
+TEST(PartitionUtils, EvolutionRatio) {
+  EXPECT_DOUBLE_EQ(evolution_ratio({0, 0, 0, 0}), 0.25);
+  EXPECT_DOUBLE_EQ(evolution_ratio({0, 1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(evolution_ratio({}), 0.0);
+}
+
+TEST(PartitionUtils, SizeDistributionLog2Bins) {
+  // Communities of sizes 1, 2, 3, 8 → bins: [1]:1, [2,3]:2, [8,15]:1.
+  std::vector<vid_t> labels;
+  labels.insert(labels.end(), 1, 0);
+  labels.insert(labels.end(), 2, 1);
+  labels.insert(labels.end(), 3, 2);
+  labels.insert(labels.end(), 8, 3);
+  const auto dist = size_distribution_log2(labels);
+  ASSERT_EQ(dist.size(), 4u);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[1], 2u);
+  EXPECT_EQ(dist[2], 0u);
+  EXPECT_EQ(dist[3], 1u);
+}
+
+}  // namespace
+}  // namespace plv::metrics

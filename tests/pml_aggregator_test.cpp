@@ -1,0 +1,90 @@
+#include "pml/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace plv::pml {
+namespace {
+
+struct Record {
+  int source;
+  int payload;
+};
+
+TEST(Aggregator, DeliversEverythingAfterFlush) {
+  Runtime::run(4, [&](Comm& comm) {
+    Aggregator<Record> agg(comm, 8);
+    // Each rank sends 100 records round-robin across destinations.
+    for (int i = 0; i < 100; ++i) {
+      agg.push(i % comm.nranks(), Record{comm.rank(), i});
+    }
+    agg.flush_all();
+    int received = 0;
+    comm.drain_until_quiescent<Record>([&](int, std::span<const Record> recs) {
+      received += static_cast<int>(recs.size());
+    });
+    EXPECT_EQ(received, 100);  // 4 ranks * 25 records each to me
+  });
+}
+
+TEST(Aggregator, CoalescesIntoCapacitySizedChunks) {
+  Runtime::run(2, [&](Comm& comm) {
+    Aggregator<Record> agg(comm, 10);
+    for (int i = 0; i < 95; ++i) agg.push(1 - comm.rank(), Record{comm.rank(), i});
+    agg.flush_all();
+    // 95 records with capacity 10 → 9 full + 1 partial = 10 chunks.
+    EXPECT_EQ(comm.stats().chunks_sent, 10u);
+    comm.drain_until_quiescent<Record>([](int, std::span<const Record>) {});
+  });
+}
+
+TEST(Aggregator, PreservesRecordContents) {
+  Runtime::run(3, [&](Comm& comm) {
+    Aggregator<Record> agg(comm, 4);
+    for (int i = 0; i < 30; ++i) {
+      agg.push((comm.rank() + 1) % comm.nranks(), Record{comm.rank(), i * 7});
+    }
+    agg.flush_all();
+    std::map<int, std::vector<int>> by_source;
+    comm.drain_until_quiescent<Record>([&](int, std::span<const Record> recs) {
+      for (const Record& r : recs) by_source[r.source].push_back(r.payload);
+    });
+    const int expected_source = (comm.rank() + comm.nranks() - 1) % comm.nranks();
+    ASSERT_EQ(by_source.size(), 1u);
+    ASSERT_TRUE(by_source.contains(expected_source));
+    auto& payloads = by_source[expected_source];
+    std::sort(payloads.begin(), payloads.end());
+    for (int i = 0; i < 30; ++i) EXPECT_EQ(payloads[i], i * 7);
+  });
+}
+
+TEST(Aggregator, ZeroCapacityClampsToOne) {
+  Runtime::run(1, [&](Comm& comm) {
+    Aggregator<Record> agg(comm, 0);
+    EXPECT_EQ(agg.capacity(), 1u);
+    agg.push(0, Record{0, 1});
+    agg.flush_all();
+    int n = 0;
+    comm.drain_until_quiescent<Record>(
+        [&](int, std::span<const Record> recs) { n += static_cast<int>(recs.size()); });
+    EXPECT_EQ(n, 1);
+  });
+}
+
+TEST(Aggregator, SelfSendsWork) {
+  Runtime::run(2, [&](Comm& comm) {
+    Aggregator<Record> agg(comm, 16);
+    agg.push(comm.rank(), Record{comm.rank(), 42});
+    agg.flush_all();
+    int payload = -1;
+    comm.drain_until_quiescent<Record>([&](int src, std::span<const Record> recs) {
+      EXPECT_EQ(src, comm.rank());
+      payload = recs[0].payload;
+    });
+    EXPECT_EQ(payload, 42);
+  });
+}
+
+}  // namespace
+}  // namespace plv::pml

@@ -1,0 +1,175 @@
+#include "pml/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace plv::pml {
+namespace {
+
+class CommTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommTest, RankAndSizeAreConsistent) {
+  const int nranks = GetParam();
+  std::atomic<int> sum{0};
+  Runtime::run(nranks, [&](Comm& comm) {
+    EXPECT_EQ(comm.nranks(), nranks);
+    EXPECT_GE(comm.rank(), 0);
+    EXPECT_LT(comm.rank(), nranks);
+    sum += comm.rank();
+  });
+  EXPECT_EQ(sum.load(), nranks * (nranks - 1) / 2);
+}
+
+TEST_P(CommTest, AllreduceSum) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    const std::uint64_t total = comm.allreduce_sum<std::uint64_t>(comm.rank() + 1);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(nranks) * (nranks + 1) / 2);
+  });
+}
+
+TEST_P(CommTest, AllreduceMinMax) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    EXPECT_EQ(comm.allreduce_max(comm.rank()), nranks - 1);
+    EXPECT_EQ(comm.allreduce_min(comm.rank()), 0);
+  });
+}
+
+TEST_P(CommTest, AllreduceDoubleIsDeterministicAcrossRuns) {
+  const int nranks = GetParam();
+  std::vector<double> results(2, 0.0);
+  for (int run = 0; run < 2; ++run) {
+    std::atomic<double> out{0.0};
+    Runtime::run(nranks, [&](Comm& comm) {
+      // Values chosen so naive reassociation would give different bits.
+      const double mine = 1.0 / (comm.rank() + 3.7);
+      const double total = comm.allreduce_sum(mine);
+      if (comm.rank() == 0) out = total;
+    });
+    results[run] = out;
+  }
+  EXPECT_EQ(results[0], results[1]);  // bitwise equal: rank-order combine
+}
+
+TEST_P(CommTest, AllreduceVecSum) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    std::vector<std::uint64_t> counts(8, 0);
+    counts[static_cast<std::size_t>(comm.rank()) % 8] = 1;
+    comm.allreduce_vec_sum(counts);
+    std::uint64_t total = std::accumulate(counts.begin(), counts.end(), 0ULL);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(nranks));
+  });
+}
+
+TEST_P(CommTest, AllgatherIsRankIndexed) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    const auto all = comm.allgather(comm.rank() * 10);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) EXPECT_EQ(all[r], r * 10);
+  });
+}
+
+TEST_P(CommTest, AllgathervConcatenatesInRankOrder) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    std::vector<int> mine(static_cast<std::size_t>(comm.rank()) + 1, comm.rank());
+    const auto all = comm.allgatherv(mine);
+    std::size_t expected = 0;
+    for (int r = 0; r < nranks; ++r) expected += static_cast<std::size_t>(r) + 1;
+    ASSERT_EQ(all.size(), expected);
+    // Check grouping: values must be non-decreasing.
+    for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LE(all[i - 1], all[i]);
+  });
+}
+
+TEST_P(CommTest, ExchangeRoutesByDestination) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    // Rank r sends value r*100+d to each destination d.
+    std::vector<std::vector<int>> outgoing(static_cast<std::size_t>(nranks));
+    for (int d = 0; d < nranks; ++d) outgoing[d].push_back(comm.rank() * 100 + d);
+    const auto incoming = comm.exchange(outgoing);
+    ASSERT_EQ(incoming.size(), static_cast<std::size_t>(nranks));
+    for (int s = 0; s < nranks; ++s) {
+      EXPECT_EQ(incoming[s], s * 100 + comm.rank());  // rank order, source s
+    }
+  });
+}
+
+TEST_P(CommTest, ExchangeGroupedMatchesRequestReply) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    std::vector<std::vector<int>> requests(static_cast<std::size_t>(nranks));
+    for (int d = 0; d < nranks; ++d) {
+      for (int i = 0; i <= comm.rank(); ++i) requests[d].push_back(i);
+    }
+    const auto incoming = comm.exchange_grouped(requests);
+    // Reply with value*2, grouped per source.
+    std::vector<std::vector<int>> replies(static_cast<std::size_t>(nranks));
+    for (int s = 0; s < nranks; ++s) {
+      for (int v : incoming[s]) replies[s].push_back(v * 2);
+    }
+    const auto answers = comm.exchange_grouped(replies);
+    for (int s = 0; s < nranks; ++s) {
+      ASSERT_EQ(answers[s].size(), static_cast<std::size_t>(comm.rank()) + 1);
+      for (int i = 0; i <= comm.rank(); ++i) EXPECT_EQ(answers[s][i], i * 2);
+    }
+  });
+}
+
+TEST_P(CommTest, FineGrainedSendAndQuiescence) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    // Every rank sends its rank id to every rank, one record at a time.
+    for (int d = 0; d < nranks; ++d) {
+      const int value = comm.rank();
+      comm.send_chunk(d, &value, sizeof value, 1);
+    }
+    std::uint64_t received_sum = 0;
+    std::size_t records = 0;
+    comm.drain_until_quiescent<int>([&](int /*src*/, std::span<const int> vals) {
+      for (int v : vals) {
+        received_sum += static_cast<std::uint64_t>(v);
+        ++records;
+      }
+    });
+    EXPECT_EQ(records, static_cast<std::size_t>(nranks));
+    EXPECT_EQ(received_sum, static_cast<std::uint64_t>(nranks) * (nranks - 1) / 2);
+  });
+}
+
+TEST_P(CommTest, TrafficCountersTrackExchange) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    std::vector<std::vector<std::uint64_t>> outgoing(static_cast<std::size_t>(nranks));
+    for (int d = 0; d < nranks; ++d) outgoing[d] = {1, 2, 3};
+    (void)comm.exchange(outgoing);
+    EXPECT_EQ(comm.stats().records_sent, static_cast<std::uint64_t>(nranks) * 3);
+    EXPECT_EQ(comm.stats().records_received, static_cast<std::uint64_t>(nranks) * 3);
+    EXPECT_EQ(comm.stats().bytes_sent, static_cast<std::uint64_t>(nranks) * 3 * 8);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommTest, ::testing::Values(1, 2, 3, 4, 8),
+                         [](const auto& info) {
+                           return "nranks" + std::to_string(info.param);
+                         });
+
+TEST(Runtime, RejectsNonPositiveRankCount) {
+  EXPECT_THROW(Runtime::run(0, [](Comm&) {}), std::invalid_argument);
+  EXPECT_THROW(Runtime::run(-3, [](Comm&) {}), std::invalid_argument);
+}
+
+TEST(Runtime, PropagatesRankException) {
+  EXPECT_THROW(
+      Runtime::run(1, [](Comm&) { throw std::runtime_error("rank failure"); }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace plv::pml

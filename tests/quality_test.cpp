@@ -1,0 +1,80 @@
+#include "metrics/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/planted.hpp"
+#include "graph/csr.hpp"
+
+namespace plv::metrics {
+namespace {
+
+graph::Csr two_triangles() {
+  graph::EdgeList e;
+  e.add(0, 1);
+  e.add(1, 2);
+  e.add(0, 2);
+  e.add(3, 4);
+  e.add(4, 5);
+  e.add(3, 5);
+  e.add(2, 3);
+  return graph::Csr::from_edges(e);
+}
+
+TEST(Coverage, AllInOneCommunityIsOne) {
+  const auto g = two_triangles();
+  EXPECT_DOUBLE_EQ(coverage(g, {0, 0, 0, 0, 0, 0}), 1.0);
+}
+
+TEST(Coverage, SingletonsHaveZeroCoverageWithoutSelfLoops) {
+  const auto g = two_triangles();
+  EXPECT_DOUBLE_EQ(coverage(g, {0, 1, 2, 3, 4, 5}), 0.0);
+}
+
+TEST(Coverage, TriangleSplitValue) {
+  const auto g = two_triangles();
+  // 6 of 7 edges internal.
+  EXPECT_NEAR(coverage(g, {0, 0, 0, 1, 1, 1}), 6.0 / 7.0, 1e-12);
+}
+
+TEST(Conductance, PerfectSplitHasLowConductance) {
+  const auto g = two_triangles();
+  const auto s = conductance(g, {0, 0, 0, 1, 1, 1});
+  // Each triangle: cut 1, volume 7 ⇒ φ = 1/7.
+  ASSERT_EQ(s.per_community.size(), 2u);
+  EXPECT_NEAR(s.per_community[0], 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.per_community[1], 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.max, 1.0 / 7.0, 1e-12);
+}
+
+TEST(Conductance, SingletonOfDegreeDHasConductanceOne) {
+  const auto g = two_triangles();
+  const auto s = conductance(g, {0, 1, 1, 1, 1, 1});
+  // Community {0}: cut 2, vol 2 ⇒ φ = 1.
+  EXPECT_NEAR(s.per_community[0], 1.0, 1e-12);
+}
+
+TEST(Conductance, BadPartitionScoresWorseThanPlanted) {
+  const auto planted = gen::planted_partition(
+      {.communities = 4, .community_size = 25, .p_intra = 0.5, .p_inter = 0.02, .seed = 31});
+  const auto g = graph::Csr::from_edges(planted.edges, 100);
+  const auto good = conductance(g, planted.ground_truth);
+  std::vector<vid_t> stripes(100);
+  for (vid_t v = 0; v < 100; ++v) stripes[v] = v % 4;  // ignores structure
+  const auto bad = conductance(g, stripes);
+  EXPECT_LT(good.mean, bad.mean);
+  EXPECT_LT(good.max, bad.max + 1e-12);
+}
+
+TEST(Conductance, CoverageAndConductanceAreConsistent) {
+  // Total cut = (1 - coverage)·2m; mean conductance over the partition
+  // must be positive exactly when coverage < 1.
+  const auto g = two_triangles();
+  const std::vector<vid_t> labels = {0, 0, 1, 1, 2, 2};
+  const double cov = coverage(g, labels);
+  const auto s = conductance(g, labels);
+  EXPECT_LT(cov, 1.0);
+  EXPECT_GT(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace plv::metrics

@@ -1,0 +1,105 @@
+#include "gen/rmat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/csr.hpp"
+
+namespace plv::gen {
+namespace {
+
+TEST(Rmat, ProducesRequestedEdgeCount) {
+  RmatParams p{.scale = 10, .edge_factor = 8, .seed = 1};
+  const auto edges = rmat(p);
+  EXPECT_EQ(edges.size(), (8ULL << 10));
+}
+
+TEST(Rmat, VertexIdsWithinScale) {
+  RmatParams p{.scale = 12, .edge_factor = 4, .seed = 2};
+  const auto edges = rmat(p);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, 1u << 12);
+    EXPECT_LT(e.v, 1u << 12);
+  }
+}
+
+TEST(Rmat, DeterministicForFixedSeed) {
+  RmatParams p{.scale = 10, .edge_factor = 4, .seed = 99};
+  const auto a = rmat(p);
+  const auto b = rmat(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.edges()[i], b.edges()[i]);
+}
+
+TEST(Rmat, DifferentSeedsDiffer) {
+  RmatParams p1{.scale = 10, .edge_factor = 4, .seed = 1};
+  RmatParams p2{.scale = 10, .edge_factor = 4, .seed = 2};
+  const auto a = rmat(p1);
+  const auto b = rmat(p2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.edges()[i] == b.edges()[i]) ++same;
+  }
+  EXPECT_LT(same, a.size() / 100);
+}
+
+TEST(Rmat, SlicesComposeToFullStream) {
+  RmatParams p{.scale = 8, .edge_factor = 8, .seed = 5};
+  const auto full = rmat(p);
+  const std::uint64_t total = full.size();
+  graph::EdgeList stitched;
+  for (std::uint64_t off = 0; off < total; off += 1000) {
+    const auto part = rmat_slice(p, off, std::min<std::uint64_t>(1000, total - off));
+    for (const Edge& e : part) stitched.add(e.u, e.v, e.w);
+  }
+  ASSERT_EQ(stitched.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(stitched.edges()[i], full.edges()[i]);
+  }
+}
+
+TEST(Rmat, NoSelfLoopsWhenDisallowed) {
+  RmatParams p{.scale = 10, .edge_factor = 8, .seed = 3, .allow_self_loops = false};
+  const auto edges = rmat(p);
+  for (const Edge& e : edges) EXPECT_NE(e.u, e.v);
+}
+
+TEST(Rmat, SkewedDegreesWithGraph500Params) {
+  // R-MAT with a=0.57 must be far more skewed than uniform: the max
+  // degree should exceed several times the average.
+  RmatParams p{.scale = 12, .edge_factor = 8, .seed = 7};
+  const auto g = graph::Csr::from_edges(rmat(p), 1u << 12);
+  ecount_t max_deg = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) max_deg = std::max(max_deg, g.degree(v));
+  const double avg_deg =
+      static_cast<double>(g.num_entries()) / static_cast<double>(g.num_vertices());
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * avg_deg);
+}
+
+TEST(Rmat, ScrambleProducesDispersedIds) {
+  // Without scrambling, quadrant probabilities concentrate low ids; with
+  // it, the heavy vertices spread across the id space.
+  RmatParams p{.scale = 12, .edge_factor = 8, .seed = 11, .scramble_ids = true};
+  const auto edges = rmat(p);
+  std::uint64_t high_half = 0;
+  for (const Edge& e : edges) {
+    if (e.u >= (1u << 11)) ++high_half;
+  }
+  // Unscrambled R-MAT with a=0.57 puts ~34% of sources in the high half;
+  // scrambled should be near 50%.
+  EXPECT_GT(high_half, edges.size() * 40 / 100);
+}
+
+TEST(Rmat, UnscrambledConcentratesLowIds) {
+  RmatParams p{.scale = 12, .edge_factor = 8, .seed = 11, .scramble_ids = false};
+  const auto edges = rmat(p);
+  std::uint64_t low_half = 0;
+  for (const Edge& e : edges) {
+    if (e.u < (1u << 11)) ++low_half;
+  }
+  EXPECT_GT(low_half, edges.size() * 55 / 100);
+}
+
+}  // namespace
+}  // namespace plv::gen

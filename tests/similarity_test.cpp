@@ -1,0 +1,148 @@
+#include "metrics/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace plv::metrics {
+namespace {
+
+TEST(Similarity, IdenticalPartitionsAreAllPerfect) {
+  // Paper footnote 1: identical structures give NVD 0 and the rest 1.
+  const std::vector<vid_t> a = {0, 0, 1, 1, 2, 2, 2};
+  const SimilarityScores s = similarity(a, a);
+  EXPECT_NEAR(s.nmi, 1.0, 1e-12);
+  EXPECT_NEAR(s.f_measure, 1.0, 1e-12);
+  EXPECT_NEAR(s.nvd, 0.0, 1e-12);
+  EXPECT_NEAR(s.rand_index, 1.0, 1e-12);
+  EXPECT_NEAR(s.adjusted_rand_index, 1.0, 1e-12);
+  EXPECT_NEAR(s.jaccard_index, 1.0, 1e-12);
+}
+
+TEST(Similarity, LabelValuesAreIrrelevant) {
+  const std::vector<vid_t> a = {0, 0, 1, 1, 2};
+  const std::vector<vid_t> b = {9, 9, 4, 4, 7};
+  const SimilarityScores s = similarity(a, b);
+  EXPECT_NEAR(s.nmi, 1.0, 1e-12);
+  EXPECT_NEAR(s.adjusted_rand_index, 1.0, 1e-12);
+}
+
+TEST(Similarity, CompletelyDifferentPartitions) {
+  // a: all together; b: all separate.
+  const std::vector<vid_t> a = {0, 0, 0, 0};
+  const std::vector<vid_t> b = {0, 1, 2, 3};
+  const SimilarityScores s = similarity(a, b);
+  EXPECT_NEAR(s.nmi, 0.0, 1e-12);        // zero mutual information
+  EXPECT_NEAR(s.rand_index, 0.0, 1e-12); // no pair agrees
+  EXPECT_LT(s.adjusted_rand_index, 0.1);
+  EXPECT_NEAR(s.jaccard_index, 0.0, 1e-12);
+  EXPECT_GT(s.nvd, 0.0);
+}
+
+TEST(Similarity, KnownContingencyValues) {
+  // a = {0,0,1,1}, b = {0,1,0,1}: independent halves.
+  const std::vector<vid_t> a = {0, 0, 1, 1};
+  const std::vector<vid_t> b = {0, 1, 0, 1};
+  const SimilarityScores s = similarity(a, b);
+  // Pairs: C(4,2)=6 total; together-in-a = {01,23}; together-in-b = {02,13};
+  // no pair together in both ⇒ s_ab=0; RI = (6+0-2-2)/6 = 1/3.
+  EXPECT_NEAR(s.rand_index, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.jaccard_index, 0.0, 1e-12);
+  EXPECT_NEAR(s.nmi, 0.0, 1e-12);  // independent ⇒ zero MI
+  // ARI: (0 − 2·2/6) / ((2+2)/2 − 2·2/6) = (−2/3)/(4/3) = −0.5.
+  EXPECT_NEAR(s.adjusted_rand_index, -0.5, 1e-12);
+}
+
+TEST(Similarity, SymmetricUnderSwap) {
+  const std::vector<vid_t> a = {0, 0, 1, 1, 2, 0, 1};
+  const std::vector<vid_t> b = {0, 1, 1, 1, 2, 2, 0};
+  const SimilarityScores ab = similarity(a, b);
+  const SimilarityScores ba = similarity(b, a);
+  EXPECT_NEAR(ab.nmi, ba.nmi, 1e-12);
+  EXPECT_NEAR(ab.rand_index, ba.rand_index, 1e-12);
+  EXPECT_NEAR(ab.adjusted_rand_index, ba.adjusted_rand_index, 1e-12);
+  EXPECT_NEAR(ab.jaccard_index, ba.jaccard_index, 1e-12);
+  EXPECT_NEAR(ab.nvd, ba.nvd, 1e-12);
+}
+
+TEST(Similarity, RefinementScoresBetterThanRandomRelabeling) {
+  // b refines a (splits each community in two): high but imperfect scores.
+  std::vector<vid_t> a(1000), refined(1000), shuffled(1000);
+  Xoshiro256 rng(5);
+  for (vid_t v = 0; v < 1000; ++v) {
+    a[v] = v / 100;
+    refined[v] = v / 50;
+    shuffled[v] = static_cast<vid_t>(rng.next_below(10));
+  }
+  const SimilarityScores good = similarity(a, refined);
+  const SimilarityScores bad = similarity(a, shuffled);
+  EXPECT_GT(good.nmi, bad.nmi);
+  EXPECT_GT(good.adjusted_rand_index, bad.adjusted_rand_index);
+  EXPECT_GT(good.jaccard_index, bad.jaccard_index);
+  EXPECT_LT(good.nvd, bad.nvd);
+  EXPECT_GT(good.f_measure, bad.f_measure);
+}
+
+TEST(Similarity, RandomIndependentPartitionsHaveNearZeroAri) {
+  // ARI is chance-corrected: independent labelings ⇒ ≈ 0 even though the
+  // raw Rand index is high.
+  std::vector<vid_t> a(5000), b(5000);
+  Xoshiro256 rng(11);
+  for (std::size_t v = 0; v < 5000; ++v) {
+    a[v] = static_cast<vid_t>(rng.next_below(20));
+    b[v] = static_cast<vid_t>(rng.next_below(20));
+  }
+  const SimilarityScores s = similarity(a, b);
+  EXPECT_NEAR(s.adjusted_rand_index, 0.0, 0.02);
+  EXPECT_GT(s.rand_index, 0.85);
+}
+
+TEST(Similarity, BoundsHoldOnRandomInputs) {
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<vid_t> a(200), b(200);
+    for (std::size_t v = 0; v < 200; ++v) {
+      a[v] = static_cast<vid_t>(rng.next_below(1 + trial));
+      b[v] = static_cast<vid_t>(rng.next_below(1 + (trial * 3) % 11));
+    }
+    const SimilarityScores s = similarity(a, b);
+    EXPECT_GE(s.nmi, -1e-12);
+    EXPECT_LE(s.nmi, 1.0 + 1e-12);
+    EXPECT_GE(s.f_measure, 0.0);
+    EXPECT_LE(s.f_measure, 1.0 + 1e-12);
+    EXPECT_GE(s.nvd, -1e-12);
+    EXPECT_LE(s.nvd, 1.0 + 1e-12);
+    EXPECT_GE(s.rand_index, -1e-12);
+    EXPECT_LE(s.rand_index, 1.0 + 1e-12);
+    EXPECT_LE(s.adjusted_rand_index, 1.0 + 1e-12);
+    EXPECT_GE(s.jaccard_index, -1e-12);
+    EXPECT_LE(s.jaccard_index, 1.0 + 1e-12);
+  }
+}
+
+TEST(Similarity, ThrowsOnMismatchedOrEmptyInput) {
+  EXPECT_THROW(similarity({0, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW(similarity({}, {}), std::invalid_argument);
+}
+
+TEST(Similarity, SingleVertex) {
+  const SimilarityScores s = similarity({0}, {5});
+  EXPECT_NEAR(s.nmi, 1.0, 1e-12);
+  EXPECT_NEAR(s.nvd, 0.0, 1e-12);
+  EXPECT_NEAR(s.rand_index, 1.0, 1e-12);
+}
+
+TEST(SimilarityIndividual, MatchBatchResults) {
+  const std::vector<vid_t> a = {0, 0, 1, 2, 2, 1};
+  const std::vector<vid_t> b = {0, 1, 1, 2, 2, 0};
+  const SimilarityScores s = similarity(a, b);
+  EXPECT_DOUBLE_EQ(nmi(a, b), s.nmi);
+  EXPECT_DOUBLE_EQ(f_measure(a, b), s.f_measure);
+  EXPECT_DOUBLE_EQ(normalized_van_dongen(a, b), s.nvd);
+  EXPECT_DOUBLE_EQ(rand_index(a, b), s.rand_index);
+  EXPECT_DOUBLE_EQ(adjusted_rand_index(a, b), s.adjusted_rand_index);
+  EXPECT_DOUBLE_EQ(jaccard_index(a, b), s.jaccard_index);
+}
+
+}  // namespace
+}  // namespace plv::metrics

@@ -1,0 +1,125 @@
+#include "core/sssp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "gen/er.hpp"
+#include "gen/rmat.hpp"
+
+namespace plv::core {
+namespace {
+
+ParOptions opts_with(int nranks) {
+  ParOptions o;
+  o.nranks = nranks;
+  return o;
+}
+
+TEST(SsspSeq, WeightedPath) {
+  graph::EdgeList e;
+  e.add(0, 1, 2.0);
+  e.add(1, 2, 3.0);
+  e.add(0, 2, 10.0);
+  const auto r = sssp_seq(e, 3, 0);
+  EXPECT_DOUBLE_EQ(r.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.distance[1], 2.0);
+  EXPECT_DOUBLE_EQ(r.distance[2], 5.0);  // via 1, not the direct 10
+  EXPECT_EQ(r.parent[2], 1u);
+}
+
+TEST(SsspSeq, ParallelEdgesTakeCheapest) {
+  graph::EdgeList e;
+  e.add(0, 1, 9.0);
+  e.add(0, 1, 2.0);
+  const auto r = sssp_seq(e, 2, 0);
+  EXPECT_DOUBLE_EQ(r.distance[1], 2.0);
+}
+
+TEST(SsspSeq, UnreachableIsInfinity) {
+  graph::EdgeList e;
+  e.add(0, 1, 1.0);
+  const auto r = sssp_seq(e, 3, 0);
+  EXPECT_EQ(r.distance[2], sssp_infinity());
+  EXPECT_EQ(r.parent[2], kInvalidVid);
+  EXPECT_EQ(r.reached, 2u);
+}
+
+TEST(SsspSeq, RejectsNegativeWeights) {
+  graph::EdgeList e;
+  e.add(0, 1, -1.0);
+  EXPECT_THROW(sssp_seq(e, 2, 0), std::invalid_argument);
+  EXPECT_THROW(sssp_parallel(e, 2, 0, opts_with(2)), std::invalid_argument);
+}
+
+class SsspPar : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspPar, MatchesDijkstraOnRandomIntegerWeights) {
+  // Integer weights make equal-cost path sums exactly representable, so
+  // the min-parent tie break is well-defined across engines.
+  Xoshiro256 rng(9);
+  graph::EdgeList e;
+  constexpr vid_t kN = 300;
+  for (int i = 0; i < 1500; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_below(kN));
+    auto v = static_cast<vid_t>(rng.next_below(kN));
+    if (u == v) v = (v + 1) % kN;
+    e.add(u, v, static_cast<weight_t>(1 + rng.next_below(9)));
+  }
+  const auto seq = sssp_seq(e, kN, 0);
+  const auto par = sssp_parallel(e, kN, 0, opts_with(GetParam()));
+  EXPECT_EQ(par.distance, seq.distance);
+  EXPECT_EQ(par.parent, seq.parent);
+  EXPECT_EQ(par.reached, seq.reached);
+}
+
+TEST_P(SsspPar, MatchesDijkstraOnRmatUnitWeights) {
+  gen::RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 8;
+  p.seed = 33;
+  const auto edges = gen::rmat(p);
+  const auto seq = sssp_seq(edges, 1u << 9, 3);
+  const auto par = sssp_parallel(edges, 1u << 9, 3, opts_with(GetParam()));
+  EXPECT_EQ(par.distance, seq.distance);
+  EXPECT_EQ(par.parent, seq.parent);
+}
+
+TEST_P(SsspPar, TreeDistancesAreConsistent) {
+  const auto edges = gen::erdos_renyi({.n = 200, .m = 800, .seed = 10});
+  graph::EdgeList weighted;
+  Xoshiro256 rng(11);
+  for (const Edge& e : edges) {
+    weighted.add(e.u, e.v, static_cast<weight_t>(1 + rng.next_below(5)));
+  }
+  const auto r = sssp_parallel(weighted, 200, 0, opts_with(GetParam()));
+  // dist[v] == dist[parent[v]] + w(parent[v], v) for every reached vertex.
+  for (vid_t v = 0; v < 200; ++v) {
+    if (v == 0 || r.distance[v] == sssp_infinity()) continue;
+    const vid_t p = r.parent[v];
+    ASSERT_NE(p, kInvalidVid);
+    weight_t w_min = sssp_infinity();
+    for (const Edge& e : weighted) {
+      if ((e.u == p && e.v == v) || (e.u == v && e.v == p)) w_min = std::min(w_min, e.w);
+    }
+    EXPECT_DOUBLE_EQ(r.distance[v], r.distance[p] + w_min);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, SsspPar, ::testing::Values(1, 2, 4, 8),
+                         [](const auto& info) {
+                           return "nranks" + std::to_string(info.param);
+                         });
+
+TEST(SsspPar, UnitWeightsReduceToBfsDepths) {
+  gen::RmatParams p;
+  p.scale = 8;
+  p.edge_factor = 8;
+  p.seed = 34;
+  const auto edges = gen::rmat(p);
+  const auto r = sssp_parallel(edges, 1u << 8, 0, opts_with(3));
+  const auto d = sssp_seq(edges, 1u << 8, 0);
+  EXPECT_EQ(r.distance, d.distance);
+}
+
+}  // namespace
+}  // namespace plv::core

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+
+#include "common/random.hpp"
+#include "core/louvain_par.hpp"
+#include "gen/lfr.hpp"
+#include "gen/planted.hpp"
+#include "graph/csr.hpp"
+#include "metrics/modularity.hpp"
+#include "metrics/similarity.hpp"
+
+namespace plv::core {
+namespace {
+
+ParOptions opts_with(int nranks) {
+  ParOptions o;
+  o.nranks = nranks;
+  return o;
+}
+
+TEST(WarmStart, GroundTruthSeedConvergesImmediately) {
+  const auto g = gen::planted_partition(
+      {.communities = 8, .community_size = 16, .p_intra = 0.8, .p_inter = 0.01, .seed = 95});
+  // Seed with the planted labels (mapped into vertex-id space: use the
+  // first member of each community as its label).
+  std::vector<vid_t> seed_labels(128);
+  for (vid_t v = 0; v < 128; ++v) seed_labels[v] = g.ground_truth[v] * 16;
+  const auto warm = louvain_parallel_warm(g.edges, 128, seed_labels, opts_with(4));
+  // Already optimal: one level, no quality loss vs cold start.
+  const auto cold = louvain_parallel(g.edges, 128, opts_with(4));
+  EXPECT_GE(warm.final_modularity, cold.final_modularity - 1e-9);
+  EXPECT_GT(metrics::nmi(warm.final_labels, g.ground_truth), 0.99);
+  ASSERT_FALSE(warm.levels.empty());
+  EXPECT_LE(warm.levels.front().trace.moved_fraction.size(),
+            cold.levels.front().trace.moved_fraction.size());
+}
+
+TEST(WarmStart, MatchesColdStartQualityFromSingletonSeed) {
+  // Warm start from the trivial partition must behave like a cold start.
+  const auto g = gen::lfr({.n = 800, .mu = 0.3, .seed = 96});
+  std::vector<vid_t> singletons(800);
+  for (vid_t v = 0; v < 800; ++v) singletons[v] = v;
+  const auto warm = louvain_parallel_warm(g.edges, 800, singletons, opts_with(3));
+  const auto cold = louvain_parallel(g.edges, 800, opts_with(3));
+  EXPECT_EQ(warm.final_labels, cold.final_labels);
+  EXPECT_DOUBLE_EQ(warm.final_modularity, cold.final_modularity);
+}
+
+TEST(WarmStart, IncrementalUpdateConvergesFasterThanCold) {
+  // The dynamic-graph scenario: detect, perturb the graph slightly,
+  // re-detect warm vs cold.
+  auto g = gen::lfr({.n = 2000, .mu = 0.25, .seed = 97});
+  const auto base = louvain_parallel(g.edges, 2000, opts_with(4));
+
+  // Perturb: add 1% random edges.
+  Xoshiro256 rng(98);
+  for (int i = 0; i < 200; ++i) {
+    const auto u = static_cast<vid_t>(rng.next_below(2000));
+    auto v = static_cast<vid_t>(rng.next_below(2000));
+    if (u == v) v = (v + 1) % 2000;
+    g.edges.add(u, v, 1.0);
+  }
+  // Seed labels must live in vertex-id space; use each community's first
+  // member id.
+  std::vector<vid_t> seed(2000, kInvalidVid);
+  std::vector<vid_t> first_member(2000, kInvalidVid);
+  for (vid_t v = 0; v < 2000; ++v) {
+    const vid_t c = base.final_labels[v];
+    if (first_member[c] == kInvalidVid) first_member[c] = v;
+    seed[v] = first_member[c];
+  }
+
+  const auto warm = louvain_parallel_warm(g.edges, 2000, seed, opts_with(4));
+  const auto cold = louvain_parallel(g.edges, 2000, opts_with(4));
+
+  auto total_iters = [](const ParResult& r) {
+    std::size_t iters = 0;
+    for (const auto& level : r.levels) iters += level.trace.moved_fraction.size();
+    return iters;
+  };
+  EXPECT_LT(total_iters(warm), total_iters(cold));
+  EXPECT_GT(warm.final_modularity, 0.95 * cold.final_modularity);
+  // Warm result stays close to the pre-perturbation communities.
+  EXPECT_GT(metrics::nmi(warm.final_labels, base.final_labels), 0.8);
+}
+
+TEST(WarmStart, ReportedQMatchesRecomputation) {
+  const auto g = gen::lfr({.n = 600, .mu = 0.35, .seed = 99});
+  std::vector<vid_t> seed(600);
+  for (vid_t v = 0; v < 600; ++v) seed[v] = v / 3;  // arbitrary coarse seed
+  const auto r = louvain_parallel_warm(g.edges, 600, seed, opts_with(2));
+  const auto csr = graph::Csr::from_edges(g.edges, 600);
+  EXPECT_NEAR(r.final_modularity, metrics::modularity(csr, r.final_labels), 1e-9);
+}
+
+TEST(WarmStart, RejectsBadSeeds) {
+  graph::EdgeList e;
+  e.add(0, 1);
+  EXPECT_THROW(louvain_parallel_warm(e, 2, {0}, opts_with(1)), std::invalid_argument);
+  EXPECT_THROW(louvain_parallel_warm(e, 2, {0, 7}, opts_with(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plv::core
