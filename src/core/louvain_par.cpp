@@ -135,8 +135,10 @@ class RankEngine {
   }
 
   /// Builds level 0 from this rank's slice of a distributed edge stream:
-  /// every In_Table entry is routed to its owner through the aggregators,
-  /// so no rank ever materializes the global edge list.
+  /// every In_Table entry is routed to its owner through the aggregators
+  /// (records written straight into pooled chunks; the drain blocks on the
+  /// mailbox instead of spinning on collectives), so no rank ever
+  /// materializes the global edge list.
   void init_from_slice(const graph::EdgeList& slice, vid_t n) {
     part_ = graph::Partition1D(opts_.partition, n, comm_.nranks());
     n_level_ = n;

@@ -5,7 +5,9 @@
 // layer was engineered for. This is a label-correcting (Bellman-Ford
 // style) formulation in the same mold as the Louvain phases: owned
 // distance state, relaxation messages through per-destination
-// aggregators, global quiescence via an allreduce per round.
+// aggregators, each round fenced by the messaging layer's collective-free
+// counted-termination quiescence, plus one convergence allreduce per
+// round to decide whether any distance still changed.
 #pragma once
 
 #include <vector>

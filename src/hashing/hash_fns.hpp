@@ -24,8 +24,9 @@ inline constexpr std::uint64_t kFibonacciMultiplier = 0x9e3779b97f4a7c15ULL;
 [[nodiscard]] constexpr std::uint64_t fibonacci_hash(std::uint64_t key,
                                                      std::uint64_t table_size) noexcept {
   assert(is_pow2(table_size));
+  if (table_size <= 1) return 0;  // a 1-bin table has only bin 0
   const unsigned shift = 64U - log2_floor(table_size);
-  return (key * kFibonacciMultiplier) >> (shift == 64U ? 63U : shift);
+  return (key * kFibonacciMultiplier) >> shift;
 }
 
 /// Linear congruential hash (paper ref [39]): h(x) = (a·x + b) mod p mod M,
@@ -34,10 +35,11 @@ inline constexpr std::uint64_t kFibonacciMultiplier = 0x9e3779b97f4a7c15ULL;
 [[nodiscard]] constexpr std::uint64_t lcg_hash(std::uint64_t key,
                                                std::uint64_t table_size) noexcept {
   assert(is_pow2(table_size));
+  if (table_size <= 1) return 0;  // a 1-bin table has only bin 0
   const std::uint64_t mixed = key * 6364136223846793005ULL + 1442695040888963407ULL;
   // Take high bits: low bits of an LCG step are weak.
   const unsigned shift = 64U - log2_floor(table_size);
-  return mixed >> (shift == 64U ? 63U : shift);
+  return mixed >> shift;
 }
 
 /// Bitwise (xor-fold) hash: folds the key's halves together and masks.

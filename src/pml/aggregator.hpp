@@ -3,42 +3,68 @@
 // The paper's runtime achieves scalability on fine-grained graph workloads
 // by aggregating tiny messages into network-sized chunks before injection
 // (Section IV, refs [27]-[29]). Aggregator reproduces that: callers push
-// individual records addressed to a rank; full buffers are handed to the
-// mailbox of the destination as one chunk.
+// individual records addressed to a rank, and the records are written
+// straight into a pooled Chunk owned by the runtime. A full buffer is
+// *handed* (pointer transfer, no copy, no allocation in steady state) to
+// the destination mailbox; the receiver releases the chunk back to the
+// shared pool, where the next flush picks it up again.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <type_traits>
 #include <vector>
 
 #include "pml/comm.hpp"
+#include "pml/mailbox.hpp"
 
 namespace plv::pml {
 
 template <typename T>
 class Aggregator {
+  static_assert(std::is_trivially_copyable_v<T>);
+
  public:
   /// `capacity` is the per-destination coalescing buffer size in records.
   /// The paper-scale default (4096 records) amortizes per-chunk overhead
   /// while keeping latency low; benches sweep it.
   explicit Aggregator(Comm& comm, std::size_t capacity = 4096)
-      : comm_(comm), capacity_(capacity == 0 ? 1 : capacity) {
-    buffers_.resize(static_cast<std::size_t>(comm.nranks()));
-    for (auto& buf : buffers_) buf.reserve(capacity_);
+      : comm_(comm),
+        capacity_(capacity == 0 ? 1 : capacity),
+        chunk_bytes_(capacity_ * sizeof(T)),
+        slots_(static_cast<std::size_t>(comm.nranks())) {}
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  ~Aggregator() {
+    for (Slot& s : slots_) {
+      if (s.chunk != nullptr) comm_.release_chunk(s.chunk);
+    }
   }
 
-  /// Queues one record for `dest`, flushing that destination's buffer if full.
+  /// Queues one record for `dest`, flushing that destination's buffer if
+  /// full. Hot path is a bounds-checked memcpy plus a cursor bump into the
+  /// destination's pooled chunk.
   void push(int dest, const T& record) {
-    auto& buf = buffers_[static_cast<std::size_t>(dest)];
-    buf.push_back(record);
-    if (buf.size() >= capacity_) flush(dest);
+    assert(dest >= 0 && dest < comm_.nranks());
+    Slot& s = slots_[static_cast<std::size_t>(dest)];
+    if (s.cur == s.end) refill(s);  // cold: first use, or buffer just shipped
+    std::memcpy(s.cur, &record, sizeof(T));
+    s.cur += sizeof(T);
+    if (s.cur == s.end) flush(dest);
   }
 
   /// Sends whatever is queued for `dest`.
   void flush(int dest) {
-    auto& buf = buffers_[static_cast<std::size_t>(dest)];
-    if (buf.empty()) return;
-    comm_.send_chunk(dest, buf.data(), sizeof(T), buf.size());
-    buf.clear();
+    assert(dest >= 0 && dest < comm_.nranks());
+    Slot& s = slots_[static_cast<std::size_t>(dest)];
+    if (s.chunk == nullptr) return;
+    const auto bytes = static_cast<std::size_t>(s.cur - s.chunk->raw());
+    if (bytes == 0) return;
+    s.chunk->set_size(bytes);
+    comm_.send_filled(dest, s.chunk, bytes / sizeof(T));
+    s = Slot{};  // ownership moved to the receiver; reacquire lazily
   }
 
   /// Sends every non-empty buffer. Must be called before the phase's
@@ -50,9 +76,23 @@ class Aggregator {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  /// Per-destination write cursor into the chunk being filled.
+  struct Slot {
+    Chunk* chunk{nullptr};
+    std::byte* cur{nullptr};
+    std::byte* end{nullptr};
+  };
+
+  void refill(Slot& s) {
+    s.chunk = comm_.acquire_chunk(chunk_bytes_);
+    s.cur = s.chunk->raw();
+    s.end = s.cur + chunk_bytes_;
+  }
+
   Comm& comm_;
   std::size_t capacity_;
-  std::vector<std::vector<T>> buffers_;
+  std::size_t chunk_bytes_;
+  std::vector<Slot> slots_;
 };
 
 }  // namespace plv::pml

@@ -9,23 +9,51 @@
 //   * collectives  — barrier, allreduce, allgather, alltoallv `exchange`,
 //     all deterministic (combine in rank order) so fixed seeds give
 //     bit-identical runs;
-//   * fine-grained — `send_record`/`poll` with per-destination coalescing
-//     (see aggregator.hpp) plus a quiescence protocol, matching the paper's
-//     active-message style state propagation;
+//   * fine-grained — `send_chunk`/`poll` with per-destination coalescing
+//     (see aggregator.hpp) plus a counted-termination quiescence protocol,
+//     matching the paper's active-message style state propagation;
 //   * traffic counters — record/byte counts per rank, used by the scaling
 //     benches to report communication volume where the 1-core container
 //     gates wall-clock speedup.
+//
+// Quiescence protocol (counted termination, zero collective rounds):
+// every fine-grained phase has an epoch number, and every Comm tracks how
+// many records it sent to each peer during the current epoch. Entering
+// `drain_until_quiescent`, a rank pushes one *control marker* per peer
+// (through the same mailboxes as data) carrying that per-destination count,
+// then polls — parking in Mailbox::wait_nonempty rather than spinning —
+// until it has seen all nranks markers. Because mailbox delivery is FIFO
+// per producer, a sender's data always precedes its marker, so "all
+// markers seen" implies "all records delivered"; the received total is
+// asserted against the marker counts in debug builds. No barrier or
+// allreduce is involved: ranks leave the phase independently, and chunks
+// from a neighbour that has already raced into the next epoch are deferred
+// (never mis-delivered) until this rank's epoch catches up. Phase skew
+// cannot exceed one epoch, since leaving epoch E requires every peer's
+// epoch-E marker.
+//
+// Fail-fast semantics: a rank whose body throws records its exception,
+// raises the runtime-wide abort flag, wakes every blocked mailbox waiter,
+// and *drops* from the barrier (`arrive_and_drop`) instead of stranding
+// peers mid-collective. Every collective checks the flag on entry and
+// again after each barrier wait (before touching peer slots), throwing
+// AbortedError; waiting polls recheck it on wakeup. The first real
+// exception is rethrown from Runtime::run after all ranks have unwound —
+// a throwing rank therefore terminates the whole run promptly instead of
+// deadlocking it.
 //
 // SPMD typing convention: all ranks participating in a collective pass the
 // same T. This mirrors MPI's untyped buffers and is asserted in debug
 // builds via a per-collective type tag.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -36,7 +64,16 @@
 
 namespace plv::pml {
 
-/// Cumulative communication counters for one rank.
+/// Thrown out of collectives and blocking polls on every surviving rank
+/// once a peer has failed. Rank bodies normally let it propagate; the
+/// Runtime swallows it and rethrows the originating rank's exception.
+struct AbortedError : std::runtime_error {
+  AbortedError() : std::runtime_error("pml: peer rank failed; run aborted") {}
+};
+
+/// Cumulative communication counters for one rank. Control markers (the
+/// quiescence protocol's overhead) are not counted: stats describe payload
+/// traffic only.
 struct TrafficStats {
   std::uint64_t records_sent{0};
   std::uint64_t records_received{0};
@@ -63,40 +100,55 @@ struct RuntimeState {
         barrier(nranks),
         slots(static_cast<std::size_t>(nranks), nullptr),
         mailboxes(static_cast<std::size_t>(nranks)),
-        sent(static_cast<std::size_t>(nranks)),
-        received(static_cast<std::size_t>(nranks)) {
-    for (auto& s : sent) s.store(0, std::memory_order_relaxed);
-    for (auto& r : received) r.store(0, std::memory_order_relaxed);
-  }
+        pools(static_cast<std::size_t>(nranks)) {}
 
   int nranks;
   std::barrier<> barrier;
-  std::vector<const void*> slots;         // per-rank pointer for collectives
-  std::vector<Mailbox> mailboxes;         // fine-grained receive queues
-  std::vector<std::atomic<std::uint64_t>> sent;      // records, per rank
-  std::vector<std::atomic<std::uint64_t>> received;  // records, per rank
+  std::vector<const void*> slots;  // per-rank pointer for collectives
+  std::vector<Mailbox> mailboxes;  // fine-grained receive queues
+  std::vector<ChunkPool> pools;    // per-rank free lists; touched only by owner
+  std::atomic<bool> aborted{false};
+
+  /// Raises the abort flag and wakes every rank parked in a mailbox wait.
+  void abort() noexcept {
+    aborted.store(true, std::memory_order_seq_cst);
+    for (auto& mb : mailboxes) mb.interrupt();
+  }
 };
 
 }  // namespace detail
 
-/// Per-rank communicator handle. Cheap to copy; all methods must be called
-/// from the owning rank's thread only (except none — there is no remote
-/// access; senders go through the target's mailbox, which is thread-safe).
+/// Per-rank communicator handle. All methods must be called from the
+/// owning rank's thread only (there is no remote access; senders go
+/// through the target's mailbox, which is thread-safe). Non-copyable: it
+/// owns per-phase protocol state and any chunks deferred across epochs.
 class Comm {
  public:
-  Comm(detail::RuntimeState* state, int rank) noexcept : state_(state), rank_(rank) {}
+  Comm(detail::RuntimeState* state, int rank) noexcept
+      : state_(state),
+        rank_(rank),
+        phase_sent_(static_cast<std::size_t>(state->nranks), 0) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  ~Comm() {
+    for (Chunk* c : deferred_) pool().release(c);
+  }
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int nranks() const noexcept { return state_->nranks; }
 
   void barrier() {
     ++stats_.collectives;
-    state_->barrier.arrive_and_wait();
+    sync();
   }
 
   // ---------------------------------------------------------------------
   // Collectives. All are synchronizing; every rank must call with the same
-  // type and (for vector ops) the same length.
+  // type and (for vector ops) the same length. Every one is an abort
+  // point: if a peer has failed, AbortedError is thrown instead of
+  // waiting on it.
   // ---------------------------------------------------------------------
 
   /// Element-wise reduction over one value per rank, combined in rank
@@ -222,58 +274,138 @@ class Comm {
 
   // ---------------------------------------------------------------------
   // Fine-grained messaging (active-message style). Senders usually go
-  // through Aggregator (aggregator.hpp) which coalesces records into
-  // chunks before calling send_chunk.
+  // through Aggregator (aggregator.hpp), which coalesces records straight
+  // into pooled chunks and hands them over with send_filled — the
+  // zero-copy path. send_chunk is the copy-once path for callers holding
+  // a raw array.
   // ---------------------------------------------------------------------
 
-  /// Deposits a chunk of `count` records of `record_size` bytes each into
-  /// rank `dest`'s mailbox.
+  /// Takes a recycled chunk from the runtime pool with at least `bytes`
+  /// of capacity. Pair with send_filled() or release_chunk().
+  [[nodiscard]] Chunk* acquire_chunk(std::size_t bytes) {
+    return pool().acquire(bytes);
+  }
+
+  /// Returns an acquired-but-unsent chunk to the pool.
+  void release_chunk(Chunk* chunk) { pool().release(chunk); }
+
+  /// Hands a filled chunk of `count` records to rank `dest`'s mailbox.
+  /// Zero-copy: ownership of the node transfers to the receiver, which
+  /// releases it back to the shared pool after processing.
+  void send_filled(int dest, Chunk* chunk, std::size_t count) {
+    assert(dest >= 0 && dest < nranks());
+    assert(chunk != nullptr && !chunk->control);
+    chunk->source = rank_;
+    chunk->epoch = epoch_;
+    phase_sent_[static_cast<std::size_t>(dest)] += count;
+    stats_.records_sent += count;
+    stats_.bytes_sent += chunk->size();
+    ++stats_.chunks_sent;
+    state_->mailboxes[static_cast<std::size_t>(dest)].push(chunk);
+  }
+
+  /// Copies `count` records of `record_size` bytes into a pooled chunk and
+  /// deposits it into rank `dest`'s mailbox (one copy, no allocation in
+  /// steady state).
   void send_chunk(int dest, const void* data, std::size_t record_size, std::size_t count) {
     assert(dest >= 0 && dest < nranks());
-    state_->mailboxes[static_cast<std::size_t>(dest)].push(rank_, data, record_size * count);
-    state_->sent[static_cast<std::size_t>(rank_)].fetch_add(count, std::memory_order_relaxed);
-    stats_.records_sent += count;
-    stats_.bytes_sent += record_size * count;
-    ++stats_.chunks_sent;
+    Chunk* chunk = acquire_chunk(record_size * count);
+    chunk->append(data, record_size * count);
+    send_filled(dest, chunk, count);
   }
 
   /// Drains the mailbox, invoking `handler(source, span<const T>)` per chunk.
-  /// Returns the number of records delivered.
+  /// Returns the number of records delivered. Chunks belonging to a later
+  /// epoch (a neighbour already past this phase's drain) are set aside and
+  /// delivered by the first poll of the matching epoch.
   template <typename T, typename Handler>
   std::size_t poll(Handler&& handler) {
     static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<Chunk> chunks;
-    state_->mailboxes[static_cast<std::size_t>(rank_)].drain(chunks);
-    std::size_t records = 0;
-    for (const Chunk& chunk : chunks) {
-      assert(chunk.bytes.size() % sizeof(T) == 0);
-      const std::size_t n = chunk.bytes.size() / sizeof(T);
-      handler(chunk.source,
-              std::span<const T>(reinterpret_cast<const T*>(chunk.bytes.data()), n));
-      records += n;
+    scratch_.clear();
+    // Deferred chunks first: they arrived before anything drained now.
+    if (!deferred_.empty()) {
+      std::size_t kept = 0;
+      for (Chunk* c : deferred_) {
+        if (c->epoch == epoch_) {
+          scratch_.push_back(c);
+        } else {
+          deferred_[kept++] = c;
+        }
+      }
+      deferred_.resize(kept);
     }
-    state_->received[static_cast<std::size_t>(rank_)].fetch_add(records,
-                                                                std::memory_order_relaxed);
+    state_->mailboxes[me()].drain(scratch_);
+    std::size_t records = 0;
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+      Chunk* c = scratch_[i];
+      if (c->epoch != epoch_) {
+        assert(c->epoch == epoch_ + 1);  // skew is bounded by one phase
+        deferred_.push_back(c);
+        continue;
+      }
+      if (c->control) {
+        ++markers_seen_;
+        expected_records_ += c->control_records;
+        pool().release(c);
+        continue;
+      }
+      assert(c->size() % sizeof(T) == 0);
+      const std::size_t n = c->size() / sizeof(T);
+      try {
+        handler(c->source,
+                std::span<const T>(reinterpret_cast<const T*>(c->data()), n));
+      } catch (...) {
+        // Recycle this and every unprocessed chunk before unwinding.
+        for (std::size_t j = i; j < scratch_.size(); ++j) {
+          if (scratch_[j]->epoch == epoch_) {
+            pool().release(scratch_[j]);
+          } else {
+            deferred_.push_back(scratch_[j]);
+          }
+        }
+        throw;
+      }
+      records += n;
+      pool().release(c);
+    }
+    phase_received_ += records;
     stats_.records_received += records;
     return records;
   }
 
-  /// Completes a fine-grained phase: polls until every record sent by any
-  /// rank during the phase has been received somewhere. Callers must have
-  /// flushed their aggregators first, and must not send during drain.
+  /// Completes a fine-grained phase: delivers every record addressed to
+  /// this rank, blocking (not spinning, and with no collective rounds)
+  /// until the counted-termination markers from all ranks have arrived —
+  /// see the protocol note in the header comment. Callers must have
+  /// flushed their aggregators first, and must not send again until the
+  /// call returns. Throws AbortedError if a peer fails mid-phase.
   template <typename T, typename Handler>
   void drain_until_quiescent(Handler&& handler) {
-    // No sends happen after this point, so the global sent count is final
-    // after one reduction; keep polling until received catches up.
-    poll<T>(handler);
-    const std::uint64_t sent_total =
-        allreduce_sum(state_->sent[static_cast<std::size_t>(rank_)].load(std::memory_order_relaxed));
-    for (;;) {
-      poll<T>(handler);
-      const std::uint64_t recv_total = allreduce_sum(
-          state_->received[static_cast<std::size_t>(rank_)].load(std::memory_order_relaxed));
-      if (recv_total == sent_total) break;
+    // Announce end-of-phase to every rank (self included): one control
+    // marker carrying the number of records this rank sent them.
+    for (int d = 0; d < nranks(); ++d) {
+      Chunk* marker = pool().acquire(0);
+      marker->source = rank_;
+      marker->epoch = epoch_;
+      marker->control = true;
+      marker->control_records = phase_sent_[static_cast<std::size_t>(d)];
+      state_->mailboxes[static_cast<std::size_t>(d)].push(marker);
     }
+    poll<T>(handler);
+    while (markers_seen_ < static_cast<std::uint64_t>(nranks())) {
+      state_->mailboxes[me()].wait_nonempty(
+          [this] { return state_->aborted.load(std::memory_order_seq_cst); });
+      check_abort();
+      poll<T>(handler);
+    }
+    // FIFO-per-producer delivery means data precedes markers, so seeing
+    // every marker implies having every record.
+    assert(phase_received_ == expected_records_);
+    ++epoch_;
+    markers_seen_ = 0;
+    expected_records_ = 0;
+    phase_received_ = 0;
+    std::fill(phase_sent_.begin(), phase_sent_.end(), 0);
   }
 
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
@@ -282,10 +414,28 @@ class Comm {
  private:
   [[nodiscard]] std::size_t me() const noexcept { return static_cast<std::size_t>(rank_); }
 
+  /// This rank's chunk free list. Single-thread owned: the send path
+  /// acquires here, the poll path releases drained (possibly foreign-born)
+  /// nodes here, and nobody else ever touches it.
+  [[nodiscard]] ChunkPool& pool() noexcept { return state_->pools[me()]; }
+
+  void check_abort() const {
+    if (state_->aborted.load(std::memory_order_seq_cst)) throw AbortedError();
+  }
+
+  /// One barrier phase with abort checks on both sides: never arrive when
+  /// the run is already dead, and never touch peer state after waking
+  /// without confirming every peer made it here too.
+  void sync() {
+    check_abort();
+    state_->barrier.arrive_and_wait();
+    check_abort();
+  }
+
   void publish(const void* ptr) {
     state_->slots[me()] = ptr;
     ++stats_.collectives;
-    state_->barrier.arrive_and_wait();  // all pointers visible
+    sync();  // all pointers visible
   }
 
   template <typename T>
@@ -294,21 +444,32 @@ class Comm {
   }
 
   void retire() {
-    state_->barrier.arrive_and_wait();  // all ranks done reading
+    sync();  // all ranks done reading
   }
 
   detail::RuntimeState* state_;
   int rank_;
   TrafficStats stats_;
+
+  // Counted-termination bookkeeping for the current fine-grained phase.
+  std::uint64_t epoch_{0};
+  std::vector<std::uint64_t> phase_sent_;  // records sent per destination
+  std::uint64_t phase_received_{0};
+  std::uint64_t expected_records_{0};      // sum of marker counts addressed here
+  std::uint64_t markers_seen_{0};
+  std::vector<Chunk*> deferred_;           // next-epoch chunks, held back
+  std::vector<Chunk*> scratch_;            // drain buffer, reused across polls
 };
 
 /// Spawns `nranks` rank threads running `body(Comm&)` and joins them.
-/// The first exception thrown by any rank is rethrown on the caller —
-/// after all ranks exit, so the barrier is never left dangling. A rank
-/// that throws would deadlock peers blocked in a collective; to keep
-/// failures fail-fast rather than hanging, a throwing rank calls
-/// std::terminate unless every other rank also exits. In practice rank
-/// bodies must not throw past collectives; tests exercise the clean path.
+/// Fail-fast: the first rank to throw stores its exception, flips the
+/// shared abort flag, wakes all mailbox waiters, and drops out of the
+/// barrier, so every peer's next (or current) collective throws
+/// AbortedError instead of hanging. Peers unwound by AbortedError are not
+/// treated as failures of their own; after all threads join, the original
+/// exception is rethrown on the caller. Every rank — normal or failed —
+/// leaves the barrier with arrive_and_drop on exit, so stragglers can
+/// never block on a rank that has already finished.
 class Runtime {
  public:
   static void run(int nranks, const std::function<void(Comm&)>& body) {
@@ -321,16 +482,28 @@ class Runtime {
     for (int r = 0; r < nranks; ++r) {
       threads.emplace_back([&state, &body, &first_error, &error_mutex, r] {
         Comm comm(&state, r);
+        bool failed = false;
         try {
           body(comm);
+        } catch (const AbortedError&) {
+          failed = true;  // peer-induced: the originating rank records the cause
         } catch (...) {
-          std::scoped_lock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+          {
+            std::scoped_lock lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          failed = true;
         }
+        if (failed) state.abort();
+        state.barrier.arrive_and_drop();
       });
     }
     for (auto& t : threads) t.join();
     if (first_error) std::rethrow_exception(first_error);
+    if (state.aborted.load(std::memory_order_seq_cst)) {
+      // Possible only if a body threw AbortedError itself; still fail.
+      throw AbortedError();
+    }
   }
 };
 

@@ -21,6 +21,34 @@ TEST_P(HashFnTest, StaysWithinTable) {
   }
 }
 
+TEST_P(HashFnTest, SingleBinTableAlwaysHitsBinZero) {
+  // Regression: fibonacci_hash/lcg_hash shifted by 64 for table_size == 1,
+  // which is UB and (with the old clamp-to-63 workaround) could return
+  // bin 1 of a 1-bin table.
+  const HashKind kind = GetParam();
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(apply_hash(kind, rng(), 1), 0u);
+  }
+  for (std::uint64_t key : {0ULL, 1ULL, ~0ULL}) {
+    EXPECT_EQ(apply_hash(kind, key, 1), 0u);
+  }
+}
+
+TEST_P(HashFnTest, TwoBinTableStaysInRange) {
+  const HashKind kind = GetParam();
+  Xoshiro256 rng(8);
+  bool saw[2] = {false, false};
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t bin = apply_hash(kind, rng(), 2);
+    ASSERT_LT(bin, 2u);
+    saw[bin] = true;
+  }
+  // With 1000 random keys both bins of a 2-bin table must be used.
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+}
+
 TEST_P(HashFnTest, IsDeterministic) {
   const HashKind kind = GetParam();
   for (std::uint64_t key : {0ULL, 1ULL, 12345ULL, ~0ULL - 1}) {
