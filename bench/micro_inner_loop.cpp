@@ -1,0 +1,57 @@
+// Micro-benchmark of the REFINE inner loop: incremental Out_Table
+// maintenance (delta propagation + flat hot-path tables) vs the legacy
+// rebuild-every-iteration STATE PROPAGATION (google-benchmark).
+//
+// One benchmark, one knob: Arg is ParOptions::full_rebuild_every (1 =
+// legacy full rebuild each iteration, 0 = never rebuild, 4 = hybrid
+// cadence), so a single binary produces the A/B/n comparison and the CI
+// bench-smoke job publishes all variants from one run. The paths are
+// bit-compatible on the unit-weight LFR input, so every variant performs
+// the *same* label trajectory — differences are pure propagation cost.
+//
+// Counters (per run): refine_s and prop_s from the engine's phase timers
+// (max over ranks, the critical path), prop_records summed over the trace
+// (total propagation records shipped by all ranks).
+#include <benchmark/benchmark.h>
+
+#include "core/louvain_par.hpp"
+#include "gen/lfr.hpp"
+
+namespace {
+
+const plv::graph::EdgeList& workload() {
+  static const auto g = plv::gen::lfr({.n = 4000, .mu = 0.3, .seed = 71});
+  return g.edges;
+}
+
+void BM_RefineInnerLoop(benchmark::State& state) {
+  const int cadence = static_cast<int>(state.range(0));
+  plv::core::ParOptions opts;
+  opts.nranks = 4;
+  opts.full_rebuild_every = cadence;
+
+  double refine_s = 0.0;
+  double prop_s = 0.0;
+  std::uint64_t prop_records = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const auto r = plv::core::louvain_parallel(workload(), 4000, opts);
+    benchmark::DoNotOptimize(r.final_modularity);
+    refine_s += r.timers.get(plv::phase::kRefine);
+    prop_s += r.timers.get(plv::phase::kStatePropagation);
+    for (const auto& level : r.levels) {
+      for (std::uint64_t recs : level.trace.prop_records) prop_records += recs;
+    }
+    ++runs;
+  }
+  const double inv_runs = runs > 0 ? 1.0 / static_cast<double>(runs) : 0.0;
+  state.counters["refine_s"] = refine_s * inv_runs;
+  state.counters["prop_s"] = prop_s * inv_runs;
+  state.counters["prop_records"] = static_cast<double>(prop_records) * inv_runs;
+}
+
+}  // namespace
+
+// Arg = full_rebuild_every: 1 = legacy full rebuild, 0 = pure delta,
+// 4 = hybrid cadence.
+BENCHMARK(BM_RefineInnerLoop)->Arg(1)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);

@@ -28,6 +28,9 @@ struct LevelTrace {
   std::vector<double> find_seconds;    // FIND BEST COMMUNITY, per iteration
   std::vector<double> update_seconds;  // UPDATE COMMUNITY INFORMATION
   std::vector<double> prop_seconds;    // STATE PROPAGATION
+  // Propagation records shipped per iteration, summed over ranks — the
+  // delta-vs-full traffic evidence (full rebuild ships Σ|In_Table|).
+  std::vector<std::uint64_t> prop_records;
 };
 
 /// One hierarchy level (one outer-loop round).

@@ -4,9 +4,8 @@
 #include <cassert>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_map.hpp"
 #include "common/histogram.hpp"
 #include "common/timer.hpp"
 #include "hashing/edge_table.hpp"
@@ -21,12 +20,22 @@ namespace {
 // ---------------------------------------------------------------------------
 
 /// STATE PROPAGATION: tells owner(v) that the in-edge (v,u) now points at
-/// community c, i.e. Out_Table[(v,c)] += w (paper Algorithm 3).
+/// community c, i.e. Out_Table[(v,c)] += w (paper Algorithm 3). The same
+/// record carries the *incremental* protocol: a set kRetractBit in `c`
+/// turns the message into a retraction, Out_Table[(v, c&~bit)] -= w, so a
+/// moved vertex ships one (retraction, assertion) pair per in-edge instead
+/// of the whole table being rebuilt.
 struct PropMsg {
   vid_t v;
   vid_t c;
   weight_t w;
 };
+
+/// Retraction flag in PropMsg::c. Community ids are vertex ids and the
+/// engine holds vertex counts below 2^31 (common/types.hpp), so the top
+/// bit is free; the delta path is disabled for (hypothetical) larger
+/// levels anyway — see refine().
+inline constexpr vid_t kRetractBit = 0x80000000u;
 
 /// UPDATE: Σtot / member-count delta for community c, applied by owner(c).
 struct DeltaMsg {
@@ -86,7 +95,11 @@ class RankEngine {
         opts_(opts),
         part_(opts.partition, 0, comm.nranks()),
         in_table_(0, opts.table_max_load, opts.hash),
-        out_table_(0, opts.table_max_load, opts.hash) {}
+        out_table_(0, opts.table_max_load, opts.hash),
+        prop_agg_(comm, opts.aggregator_capacity),
+        sigma_reqs_(static_cast<std::size_t>(comm.nranks())) {
+    comm_.set_chunk_pool_watermark(opts.chunk_pool_watermark);
+  }
 
   /// Builds level 0 from the (shared, read-only) global edge list.
   void init_from_edges(const graph::EdgeList& edges, vid_t n) {
@@ -111,7 +124,9 @@ class RankEngine {
 
   /// Re-seeds the community state from a prior partition (warm start).
   /// Must run after init_from_edges/init_from_slice: ownership arrays are
-  /// already in place; only labels and the community store change.
+  /// already in place; only labels and the community store change. The
+  /// Σtot request bookkeeping need not be touched here — the level's first
+  /// propagation is always a full rebuild, which re-derives it.
   void warm_start(const std::vector<vid_t>& initial_labels) {
     assert(initial_labels.size() >= n_level_);
     const int me = comm_.rank();
@@ -128,7 +143,7 @@ class RankEngine {
     }
     const auto incoming = comm_.exchange(deltas);
     for (const DeltaMsg& d : incoming) {
-      CommInfo& info = comms_[d.c];
+      CommInfo& info = comms_.ref(d.c);
       info.sigma_tot += d.dtot;
       info.members += d.dcount;
     }
@@ -173,7 +188,7 @@ class RankEngine {
 
     {
       ScopedPhase sp(timers_, phase::kStatePropagation);
-      state_propagation();
+      state_propagation_full();
     }
     compute_sigma_in();
     double q = global_modularity();
@@ -188,10 +203,9 @@ class RankEngine {
     // Dense relabeling must happen before reconstruction so both the
     // reported labels and the next level's In_Table use the same ids.
     const std::vector<vid_t> relabel_keys = gather_surviving_communities();
-    std::unordered_map<vid_t, vid_t> dense;
-    dense.reserve(relabel_keys.size() * 2);
+    FlatMap<vid_t> dense(relabel_keys.size());
     for (std::size_t i = 0; i < relabel_keys.size(); ++i) {
-      dense.emplace(relabel_keys[i], static_cast<vid_t>(i));
+      dense.ref(relabel_keys[i]) = static_cast<vid_t>(i);
     }
     level.num_communities = relabel_keys.size();
     level.labels = gather_level_labels(dense);
@@ -211,9 +225,28 @@ class RankEngine {
   [[nodiscard]] vid_t level_vertex_count() const noexcept { return n_level_; }
 
  private:
+  struct InEdge {
+    vid_t v;      // non-owned endpoint of the in-edge (v, u)
+    weight_t w;
+  };
+
+  struct Move {
+    vid_t l;      // local index of the moved vertex
+    vid_t from;
+    vid_t to;
+  };
+
+  /// Global per-iteration tally, allreduced so every rank takes the same
+  /// full-vs-delta propagation decision.
+  struct MoveTally {
+    std::uint64_t moves{0};
+    std::uint64_t delta_records{0};  // records a delta propagation would ship
+  };
+
   // -- level state ----------------------------------------------------------
 
-  /// Derives per-vertex arrays and community bookkeeping from In_Table.
+  /// Derives per-vertex arrays, the in-edge adjacency, and community
+  /// bookkeeping from In_Table.
   void init_level_state() {
     const vid_t local_n = part_.local_count(comm_.rank());
     strength_.assign(local_n, 0.0);
@@ -225,21 +258,39 @@ class RankEngine {
     for (vid_t l = 0; l < local_n; ++l) {
       label_[l] = part_.to_global(comm_.rank(), l);
     }
+    // CSR-style in-edge adjacency per owned vertex: the delta propagation
+    // walks exactly the moved vertices' rows instead of scanning In_Table.
+    adj_start_.assign(static_cast<std::size_t>(local_n) + 1, 0);
     in_table_.for_each([&](std::uint64_t key, weight_t w) {
       const vid_t u = key_lo(key);
       const vid_t v = key_hi(key);
       const vid_t l = part_.to_local(u);
       strength_[l] += w;
       if (v == u) self_loop_[l] = w;
+      ++adj_start_[static_cast<std::size_t>(l) + 1];
     });
+    for (std::size_t i = 1; i < adj_start_.size(); ++i) adj_start_[i] += adj_start_[i - 1];
+    adj_.resize(in_table_.size());
+    std::vector<std::size_t> cursor(adj_start_.begin(), adj_start_.end() - 1);
+    in_table_.for_each([&](std::uint64_t key, weight_t w) {
+      const std::size_t l = part_.to_local(key_lo(key));
+      adj_[cursor[l]++] = InEdge{key_hi(key), w};
+    });
+
     comms_.clear();
-    comms_.reserve(local_n * 2);
+    comms_.reserve(static_cast<std::size_t>(local_n) + 1);
     for (vid_t l = 0; l < local_n; ++l) {
       const vid_t u = part_.to_global(comm_.rank(), l);
-      comms_.emplace(u, CommInfo{strength_[l], 0.0, 1});
+      comms_.ref(u) = CommInfo{strength_[l], 0.0, 1};
     }
     out_table_.clear();
     out_table_.reserve(in_table_.size() + 16);
+    moves_.clear();
+    iters_since_rebuild_ = 0;
+    // What a full propagation costs, in records: one per In_Table entry,
+    // summed over ranks. The per-iteration full-vs-delta decision compares
+    // the (allreduced) delta cost against this.
+    full_prop_records_ = comm_.allreduce_sum(static_cast<std::uint64_t>(in_table_.size()));
   }
 
   [[nodiscard]] weight_t local_strength_sum() const noexcept {
@@ -250,62 +301,170 @@ class RankEngine {
 
   // -- STATE PROPAGATION (Algorithm 3) --------------------------------------
 
-  void state_propagation() {
+  /// Full rebuild: clears Out_Table and re-ships every In_Table entry
+  /// under its current label. Re-derives the Σtot request bookkeeping from
+  /// scratch, which also resets any floating-point drift the incremental
+  /// path accumulated on non-integer weights.
+  void state_propagation_full() {
     out_table_.clear();
-    pml::Aggregator<PropMsg> agg(comm_, opts_.aggregator_capacity);
     in_table_.for_each([&](std::uint64_t key, weight_t w) {
       const vid_t v = key_hi(key);
       const vid_t u = key_lo(key);  // owned
-      agg.push(part_.owner(v), PropMsg{v, label_[part_.to_local(u)], w});
+      prop_agg_.push(part_.owner(v), PropMsg{v, label_[part_.to_local(u)], w});
     });
-    agg.flush_all();
+    prop_agg_.flush_all();
     comm_.drain_until_quiescent<PropMsg>([&](int /*src*/, std::span<const PropMsg> msgs) {
       for (const PropMsg& m : msgs) {
         out_table_.insert_or_add(pack_key(m.v, m.c), m.w);
       }
     });
+    rebuild_sigma_requests();
+    iters_since_rebuild_ = 0;
+  }
+
+  /// Incremental maintenance: ships one (retraction, assertion) pair per
+  /// in-edge of each vertex that moved this iteration; receivers patch
+  /// Out_Table in place (count-based erase-on-zero keeps the table as
+  /// dense as a rebuild would). Requires every rank to have taken the
+  /// same full-vs-delta decision — see refine().
+  void state_propagation_delta() {
+    for (const Move& mv : moves_) {
+      assert(mv.from < kRetractBit && mv.to < kRetractBit);
+      const std::size_t begin = adj_start_[mv.l];
+      const std::size_t end = adj_start_[static_cast<std::size_t>(mv.l) + 1];
+      for (std::size_t i = begin; i < end; ++i) {
+        const InEdge& e = adj_[i];
+        const int dest = part_.owner(e.v);
+        prop_agg_.push(dest, PropMsg{e.v, mv.from | kRetractBit, e.w});
+        prop_agg_.push(dest, PropMsg{e.v, mv.to, e.w});
+      }
+    }
+    prop_agg_.flush_all();
+    comm_.drain_until_quiescent<PropMsg>([&](int /*src*/, std::span<const PropMsg> msgs) {
+      for (const PropMsg& m : msgs) {
+        if ((m.c & kRetractBit) != 0) {
+          const vid_t c = m.c & ~kRetractBit;
+          if (out_table_.retract(pack_key(m.v, c), m.w)) ref_sub(c);
+        } else if (out_table_.insert_or_add(pack_key(m.v, m.c), m.w)) {
+          ref_add(m.c);
+        }
+      }
+    });
+    ++iters_since_rebuild_;
+  }
+
+  // -- Σtot request bookkeeping ---------------------------------------------
+
+  /// The FIND phase must fetch Σtot for every community this rank's
+  /// Out_Table references plus every owned vertex's own community. Rather
+  /// than re-collecting that set each iteration (a full table scan plus a
+  /// sort), the engine keeps it persistent: comm_refs_ counts, per
+  /// community, the Out_Table entries naming it plus the owned vertices
+  /// labeled with it; sigma_reqs_ holds the per-owner sorted request
+  /// lists; refs_dirty_ logs communities whose count touched zero or left
+  /// it, and apply_sigma_request_changes() folds the log in with one
+  /// linear merge per affected owner.
+  void ref_add(vid_t c) {
+    if (++comm_refs_.ref(c) == 1) refs_dirty_.push_back(c);
+  }
+
+  void ref_sub(vid_t c) {
+    std::uint32_t* r = comm_refs_.find(c);
+    assert(r != nullptr && *r > 0);
+    if (--*r == 0) refs_dirty_.push_back(c);
+  }
+
+  /// Re-derives comm_refs_ and sigma_reqs_ from the freshly rebuilt
+  /// Out_Table and current labels.
+  void rebuild_sigma_requests() {
+    comm_refs_.clear();
+    comm_refs_.reserve(out_table_.size() / 2 + label_.size() + 1);
+    out_table_.for_each(
+        [&](std::uint64_t key, weight_t) { ++comm_refs_.ref(key_lo(key)); });
+    for (vid_t c : label_) ++comm_refs_.ref(c);
+    for (auto& reqs : sigma_reqs_) reqs.clear();
+    comm_refs_.for_each([&](vid_t c, std::uint32_t&) {
+      sigma_reqs_[static_cast<std::size_t>(part_.owner(c))].push_back(c);
+    });
+    for (auto& reqs : sigma_reqs_) std::sort(reqs.begin(), reqs.end());
+    refs_dirty_.clear();
+  }
+
+  /// Folds the dirty log into the sorted request lists. A community is
+  /// requested iff its reference count is positive *now* — entries that
+  /// bounced through zero and back within one iteration net out here.
+  void apply_sigma_request_changes() {
+    if (refs_dirty_.empty()) return;
+    std::sort(refs_dirty_.begin(), refs_dirty_.end());
+    refs_dirty_.erase(std::unique(refs_dirty_.begin(), refs_dirty_.end()),
+                      refs_dirty_.end());
+    const std::size_t nranks = sigma_reqs_.size();
+    std::vector<std::vector<vid_t>> add(nranks);
+    std::vector<std::vector<vid_t>> del(nranks);
+    for (vid_t c : refs_dirty_) {
+      const std::uint32_t* r = comm_refs_.find(c);
+      const bool needed = r != nullptr && *r > 0;
+      const auto owner = static_cast<std::size_t>(part_.owner(c));
+      const auto& reqs = sigma_reqs_[owner];
+      const bool listed = std::binary_search(reqs.begin(), reqs.end(), c);
+      if (needed && !listed) {
+        add[owner].push_back(c);
+      } else if (!needed && listed) {
+        del[owner].push_back(c);
+      }
+      if (!needed && r != nullptr) comm_refs_.erase(c);  // no zombie zeros
+    }
+    refs_dirty_.clear();
+    for (std::size_t r = 0; r < nranks; ++r) {
+      if (add[r].empty() && del[r].empty()) continue;
+      std::vector<vid_t> merged;  // add/del inherit the dirty log's order
+      merged.reserve(sigma_reqs_[r].size() + add[r].size());
+      std::size_t ai = 0;
+      std::size_t di = 0;
+      for (vid_t c : sigma_reqs_[r]) {
+        while (ai < add[r].size() && add[r][ai] < c) merged.push_back(add[r][ai++]);
+        if (di < del[r].size() && del[r][di] == c) {
+          ++di;
+          continue;
+        }
+        merged.push_back(c);
+      }
+      while (ai < add[r].size()) merged.push_back(add[r][ai++]);
+      sigma_reqs_[r] = std::move(merged);
+    }
   }
 
   // -- FIND BEST COMMUNITY (Algorithm 4 lines 6-9) --------------------------
 
   /// Fetches Σtot for every community referenced by this rank's Out_Table
-  /// (request/reply to the owners), then scans the table to fill
-  /// best_/gain_ per owned vertex.
+  /// (request/reply to the owners, request lists maintained incrementally),
+  /// then scans the table to fill best_/gain_ per owned vertex.
   void find_best_community() {
-    // 1. Collect referenced communities (+ every owned vertex's own).
-    std::unordered_set<vid_t> needed;
-    needed.reserve(out_table_.size() / 4 + label_.size());
-    out_table_.for_each([&](std::uint64_t key, weight_t) { needed.insert(key_lo(key)); });
-    for (vid_t c : label_) needed.insert(c);
+    apply_sigma_request_changes();
 
-    std::vector<vid_t> sorted(needed.begin(), needed.end());
-    std::sort(sorted.begin(), sorted.end());  // determinism of request order
-
-    std::vector<std::vector<vid_t>> requests(static_cast<std::size_t>(comm_.nranks()));
-    for (vid_t c : sorted) requests[static_cast<std::size_t>(part_.owner(c))].push_back(c);
-
-    const auto incoming = comm_.exchange_grouped(requests);
+    const auto incoming = comm_.exchange_grouped(sigma_reqs_);
     std::vector<std::vector<SigmaRep>> replies(static_cast<std::size_t>(comm_.nranks()));
     for (int r = 0; r < comm_.nranks(); ++r) {
       const auto& reqs = incoming[static_cast<std::size_t>(r)];
       auto& rep = replies[static_cast<std::size_t>(r)];
       rep.reserve(reqs.size());
       for (vid_t c : reqs) {
-        const auto it = comms_.find(c);
-        rep.push_back(it == comms_.end() ? SigmaRep{0, 0}
-                                         : SigmaRep{it->second.sigma_tot,
-                                                    it->second.members});
+        const CommInfo* info = comms_.find(c);
+        rep.push_back(info == nullptr ? SigmaRep{0, 0}
+                                      : SigmaRep{info->sigma_tot, info->members});
       }
     }
     const auto answered = comm_.exchange_grouped(replies);
 
     sigma_cache_.clear();
-    sigma_cache_.reserve(sorted.size() * 2);
+    std::size_t total_reqs = 0;
+    for (const auto& reqs : sigma_reqs_) total_reqs += reqs.size();
+    sigma_cache_.reserve(total_reqs + 1);
     for (int r = 0; r < comm_.nranks(); ++r) {
-      const auto& reqs = requests[static_cast<std::size_t>(r)];
+      const auto& reqs = sigma_reqs_[static_cast<std::size_t>(r)];
       const auto& vals = answered[static_cast<std::size_t>(r)];
       assert(reqs.size() == vals.size());
-      for (std::size_t i = 0; i < reqs.size(); ++i) sigma_cache_.emplace(reqs[i], vals[i]);
+      for (std::size_t i = 0; i < reqs.size(); ++i) sigma_cache_.ref(reqs[i]) = vals[i];
     }
 
     // 2. Initialize with the stay score, then scan Out_Table for joins.
@@ -318,8 +477,9 @@ class RankEngine {
       const vid_t u = part_.to_global(comm_.rank(), l);
       const weight_t w_stay =
           out_table_.find(pack_key(u, cu)).value_or(0.0) - self_loop_[l];
-      stay_score_[l] = w_stay - opts_.resolution *
-                                    (sigma_cache_.at(cu).sigma_tot - strength_[l]) *
+      const SigmaRep* own = sigma_cache_.find(cu);
+      assert(own != nullptr);
+      stay_score_[l] = w_stay - opts_.resolution * (own->sigma_tot - strength_[l]) *
                                     strength_[l] / two_m_;
       best_[l] = cu;
       gain_[l] = 0.0;
@@ -333,15 +493,16 @@ class RankEngine {
       const vid_t l = part_.to_local(u);
       const vid_t cu = label_[l];
       if (c == cu) return;
-      const SigmaRep& target = sigma_cache_.at(c);
+      const SigmaRep* target = sigma_cache_.find(c);
+      assert(target != nullptr);
       // Singleton-swap guard (Lu et al. [11], cited by the paper): when a
       // lone vertex considers joining another singleton community, only
       // the smaller-labeled side may move. Without it, synchronous
       // updates let pairs of singletons swap communities forever — the
       // oscillation Section III warns about.
-      if (target.members == 1 && sigma_cache_.at(cu).members == 1 && c > cu) return;
+      if (target->members == 1 && sigma_cache_.find(cu)->members == 1 && c > cu) return;
       const double score =
-          w - opts_.resolution * target.sigma_tot * strength_[l] / two_m_;
+          w - opts_.resolution * target->sigma_tot * strength_[l] / two_m_;
       if (score > best_score[l] + 1e-15 ||
           (score > best_score[l] - 1e-15 && c < best_[l])) {
         best_score[l] = score;
@@ -396,10 +557,12 @@ class RankEngine {
   // -- UPDATE COMMUNITY INFORMATION (Algorithm 4 lines 13-15) ---------------
 
   /// Moves every owned vertex whose gain clears the cutoff; ships Σtot and
-  /// member-count deltas to the community owners. Returns global moves.
-  [[nodiscard]] std::uint64_t update_communities(double cutoff) {
+  /// member-count deltas to the community owners; records the move list
+  /// the delta propagation would replay. Returns the global tally.
+  [[nodiscard]] MoveTally update_communities(double cutoff) {
     std::vector<std::vector<DeltaMsg>> deltas(static_cast<std::size_t>(comm_.nranks()));
-    std::uint64_t moves = 0;
+    MoveTally local;
+    moves_.clear();
     if (cutoff >= 0.0) {
       const vid_t local_n = static_cast<vid_t>(label_.size());
       for (vid_t l = 0; l < local_n; ++l) {
@@ -408,50 +571,57 @@ class RankEngine {
         const vid_t to = best_[l];
         if (from == to) continue;
         label_[l] = to;
+        moves_.push_back(Move{l, from, to});
+        ref_sub(from);
+        ref_add(to);
         deltas[static_cast<std::size_t>(part_.owner(from))].push_back(
             DeltaMsg{from, -1, -strength_[l]});
         deltas[static_cast<std::size_t>(part_.owner(to))].push_back(
             DeltaMsg{to, +1, strength_[l]});
-        ++moves;
+        ++local.moves;
+        local.delta_records +=
+            2 * (adj_start_[static_cast<std::size_t>(l) + 1] - adj_start_[l]);
       }
     }
     const auto incoming = comm_.exchange(deltas);
     for (const DeltaMsg& d : incoming) {
-      CommInfo& info = comms_[d.c];
+      CommInfo& info = comms_.ref(d.c);
       info.sigma_tot += d.dtot;
       info.members += d.dcount;
     }
-    return comm_.allreduce_sum(moves);
+    return comm_.allreduce(local, [](const MoveTally& a, const MoveTally& b) {
+      return MoveTally{a.moves + b.moves, a.delta_records + b.delta_records};
+    });
   }
 
   // -- Σin + modularity (Algorithm 4 lines 18-25) ----------------------------
 
   void compute_sigma_in() {
-    for (auto& [c, info] : comms_) info.sigma_in = 0.0;
+    comms_.for_each([](vid_t, CommInfo& info) { info.sigma_in = 0.0; });
     // Local pre-aggregation before the exchange keeps message volume at
     // one record per (rank, community) pair.
-    std::unordered_map<vid_t, weight_t> acc;
-    acc.reserve(label_.size());
+    sin_acc_.clear();
+    sin_acc_.reserve(label_.size() + 1);
     out_table_.for_each([&](std::uint64_t key, weight_t w) {
       const vid_t u = key_hi(key);
       const vid_t c = key_lo(key);
-      if (label_[part_.to_local(u)] == c) acc[c] += w;
+      if (label_[part_.to_local(u)] == c) sin_acc_.ref(c) += w;
     });
     std::vector<std::vector<SinMsg>> outgoing(static_cast<std::size_t>(comm_.nranks()));
-    for (const auto& [c, w] : acc) {
+    sin_acc_.for_each([&](vid_t c, weight_t& w) {
       outgoing[static_cast<std::size_t>(part_.owner(c))].push_back(SinMsg{c, 0, w});
-    }
+    });
     const auto incoming = comm_.exchange(outgoing);
-    for (const SinMsg& m : incoming) comms_[m.c].sigma_in += m.w;
+    for (const SinMsg& m : incoming) comms_.ref(m.c).sigma_in += m.w;
   }
 
   [[nodiscard]] double global_modularity() {
     double q_local = 0.0;
-    for (const auto& [c, info] : comms_) {
-      if (info.members <= 0) continue;
+    comms_.for_each([&](vid_t, const CommInfo& info) {
+      if (info.members <= 0) return;
       const double tot = info.sigma_tot / two_m_;
       q_local += info.sigma_in / two_m_ - opts_.resolution * tot * tot;
-    }
+    });
     return comm_.allreduce_sum(q_local);
   }
 
@@ -460,6 +630,10 @@ class RankEngine {
   double refine(LouvainLevel& level, double q_initial) {
     double prev_q = q_initial;
     int stagnant = 0;
+    // The retraction encoding borrows PropMsg::c's top bit, so the delta
+    // path needs community ids below 2^31 — always true for vid_t levels
+    // in practice, but guard anyway so correctness never hinges on it.
+    const bool delta_possible = n_level_ < kRetractBit;
     for (int iter = 1; iter <= opts_.max_inner_iterations; ++iter) {
       WallTimer t;
       find_best_community();
@@ -470,12 +644,27 @@ class RankEngine {
       const double cutoff = gain_cutoff(iter, eps);
 
       t.reset();
-      const std::uint64_t moves = update_communities(cutoff);
+      const MoveTally moved = update_communities(cutoff);
       const double update_s = t.seconds();
       timers_.add(phase::kUpdateCommunity, update_s);
 
+      // Full-vs-delta is a *global* decision (receivers must know whether
+      // to clear Out_Table), taken from allreduced inputs so every rank
+      // picks the same branch: rebuild when the cadence says so, or when
+      // the delta would ship at least as many records as a rebuild — the
+      // delta path never loses on traffic.
+      const bool rebuild_due = opts_.full_rebuild_every > 0 &&
+                               iters_since_rebuild_ + 1 >= opts_.full_rebuild_every;
+      const bool delta_wins =
+          delta_possible && moved.delta_records < full_prop_records_;
       t.reset();
-      state_propagation();
+      const std::uint64_t sent_before = comm_.stats().records_sent;
+      if (rebuild_due || !delta_wins) {
+        state_propagation_full();
+      } else {
+        state_propagation_delta();
+      }
+      const std::uint64_t prop_sent = comm_.stats().records_sent - sent_before;
       const double prop_s = t.seconds();
       timers_.add(phase::kStatePropagation, prop_s);
 
@@ -483,7 +672,7 @@ class RankEngine {
       const double q = global_modularity();
 
       if (opts_.record_trace) {
-        level.trace.moved_fraction.push_back(static_cast<double>(moves) /
+        level.trace.moved_fraction.push_back(static_cast<double>(moved.moves) /
                                              static_cast<double>(n_level_));
         level.trace.modularity.push_back(q);
         level.trace.epsilon.push_back(eps);
@@ -491,6 +680,7 @@ class RankEngine {
         level.trace.find_seconds.push_back(find_s);
         level.trace.update_seconds.push_back(update_s);
         level.trace.prop_seconds.push_back(prop_s);
+        level.trace.prop_records.push_back(comm_.allreduce_sum(prop_sent));
       }
 
       // One stagnant iteration can just mean a low-ε round; require a
@@ -498,7 +688,7 @@ class RankEngine {
       // decision is uniform).
       stagnant = q - prev_q < opts_.q_tolerance ? stagnant + 1 : 0;
       prev_q = q;  // report the Q of the labels we actually hold
-      if (moves == 0 || stagnant >= opts_.stagnation_window) break;
+      if (moved.moves == 0 || stagnant >= opts_.stagnation_window) break;
     }
     return prev_q;
   }
@@ -508,9 +698,9 @@ class RankEngine {
   /// Sorted global list of communities that still have members.
   [[nodiscard]] std::vector<vid_t> gather_surviving_communities() {
     std::vector<vid_t> mine;
-    for (const auto& [c, info] : comms_) {
+    comms_.for_each([&](vid_t c, const CommInfo& info) {
       if (info.members > 0) mine.push_back(c);
-    }
+    });
     std::sort(mine.begin(), mine.end());
     std::vector<vid_t> all = comm_.allgatherv(mine);
     std::sort(all.begin(), all.end());
@@ -519,12 +709,13 @@ class RankEngine {
 
   /// Full label vector of this level (dense community ids), identical on
   /// every rank.
-  [[nodiscard]] std::vector<vid_t> gather_level_labels(
-      const std::unordered_map<vid_t, vid_t>& dense) {
+  [[nodiscard]] std::vector<vid_t> gather_level_labels(const FlatMap<vid_t>& dense) {
     std::vector<LabelPair> mine;
     mine.reserve(label_.size());
     for (vid_t l = 0; l < static_cast<vid_t>(label_.size()); ++l) {
-      mine.push_back(LabelPair{part_.to_global(comm_.rank(), l), dense.at(label_[l])});
+      const vid_t* c = dense.find(label_[l]);
+      assert(c != nullptr);
+      mine.push_back(LabelPair{part_.to_global(comm_.rank(), l), *c});
     }
     const std::vector<LabelPair> all = comm_.allgatherv(mine);
     std::vector<vid_t> labels(n_level_, 0);
@@ -534,8 +725,7 @@ class RankEngine {
 
   /// Rewrites the Out_Table into the next level's In_Table (all-to-all) and
   /// re-derives the level state.
-  void graph_reconstruction(const std::unordered_map<vid_t, vid_t>& dense,
-                            vid_t next_n) {
+  void graph_reconstruction(const FlatMap<vid_t>& dense, vid_t next_n) {
     graph::Partition1D next_part(opts_.partition, next_n, comm_.nranks());
 
     hashing::EdgeTable next_in(out_table_.size() / 2 + 16, opts_.table_max_load,
@@ -545,9 +735,10 @@ class RankEngine {
     out_table_.for_each([&](std::uint64_t key, weight_t w) {
       const vid_t u = key_hi(key);
       const vid_t c = key_lo(key);
-      const vid_t src = dense.at(label_[part_.to_local(u)]);
-      const vid_t dst = dense.at(c);
-      agg.push(next_part.owner(dst), EdgeMsg{src, dst, w});
+      const vid_t* src = dense.find(label_[part_.to_local(u)]);
+      const vid_t* dst = dense.find(c);
+      assert(src != nullptr && dst != nullptr);
+      agg.push(next_part.owner(*dst), EdgeMsg{*src, *dst, w});
     });
     agg.flush_all();
     comm_.drain_until_quiescent<EdgeMsg>([&](int /*src*/, std::span<const EdgeMsg> msgs) {
@@ -581,8 +772,29 @@ class RankEngine {
   std::vector<double> gain_;
   std::vector<double> stay_score_;
 
-  std::unordered_map<vid_t, CommInfo> comms_;         // owned communities
-  std::unordered_map<vid_t, SigmaRep> sigma_cache_;   // fetched Σtot + members
+  // In-edge adjacency (CSR over local indices), derived from In_Table once
+  // per level; row l holds the (v, w) of every in-edge (v, u_l).
+  std::vector<std::size_t> adj_start_;
+  std::vector<InEdge> adj_;
+
+  // Moves of the current iteration, replayed by the delta propagation.
+  std::vector<Move> moves_;
+  int iters_since_rebuild_{0};
+  std::uint64_t full_prop_records_{0};
+
+  // Persistent propagation aggregator: its per-destination chunks are
+  // reacquired from the pool across iterations and levels instead of
+  // being re-set-up per phase.
+  pml::Aggregator<PropMsg> prop_agg_;
+
+  FlatMap<CommInfo> comms_;        // owned communities
+  FlatMap<SigmaRep> sigma_cache_;  // fetched Σtot + members
+  FlatMap<weight_t> sin_acc_;      // Σin pre-aggregation scratch
+
+  // Σtot request bookkeeping (see the comment block above ref_add).
+  FlatMap<std::uint32_t> comm_refs_;
+  std::vector<std::vector<vid_t>> sigma_reqs_;
+  std::vector<vid_t> refs_dirty_;
 
   PhaseTimers timers_;
 };

@@ -7,8 +7,12 @@
 //   In_Table  — ((v, u), w) for owned u: the in-edges, immutable within a
 //               level; the authoritative copy of the topology.
 //   Out_Table — ((u, c), w) for owned u: the out-edge weight of u into
-//               each neighboring *community* c, rebuilt from the In_Table
-//               by every STATE PROPAGATION as community labels change.
+//               each neighboring *community* c. Built from the In_Table by
+//               the level's first STATE PROPAGATION, then maintained
+//               *incrementally*: moved vertices ship retraction/assertion
+//               pairs that patch the table in place, with full rebuilds on
+//               a configurable cadence (ParOptions::full_rebuild_every)
+//               and whenever a rebuild would ship fewer records.
 //
 // One outer level = STATE PROPAGATION → REFINE (inner loop: FIND BEST
 // COMMUNITY, threshold ΔQ̂ selection, UPDATE COMMUNITY INFORMATION,

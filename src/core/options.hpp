@@ -72,8 +72,24 @@ struct ParOptions {
   hashing::HashKind hash{hashing::HashKind::kFibonacci};
   double table_max_load{0.25};
 
-  // Messaging: per-destination coalescing buffer, in records.
-  std::size_t aggregator_capacity{4096};
+  // Messaging: per-destination coalescing buffer, in records. 0 = auto-size
+  // from the fleet size and record width (pml::auto_aggregator_capacity);
+  // explicit values are honored for sweeps.
+  std::size_t aggregator_capacity{0};
+
+  // Free-list high-water mark, in chunk nodes per rank; trimmed at phase
+  // boundaries. 0 = unbounded.
+  std::size_t chunk_pool_watermark{256};
+
+  // Out_Table maintenance cadence: a full state-propagation rebuild every N
+  // inner iterations, with incremental retraction/assertion deltas in
+  // between. 1 = rebuild every iteration (the legacy behavior), 0 = never
+  // rebuild (pure delta). Independent of cadence, an iteration falls back
+  // to a full rebuild whenever the delta would ship at least as many
+  // records — so the delta path never loses on traffic. On integer-weight
+  // graphs the two paths are bit-identical; on irrational weights the
+  // cadence bounds floating-point drift (see DESIGN.md).
+  int full_rebuild_every{16};
 
   // Resolution γ of generalized modularity (1 = Newman's Eq. 3). Larger
   // values favor more, smaller communities.

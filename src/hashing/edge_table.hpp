@@ -3,9 +3,20 @@
 // Both of the paper's tables store ((a,b), w) triples keyed by a packed
 // pair of 32-bit ids (In_Table: (source vertex, owned vertex); Out_Table:
 // (owned vertex, neighbor community)), with insert-or-accumulate semantics
-// and linear probing (Algorithms 3 and 5). The table is rebuilt wholesale
-// every iteration (Out_Table) or level (In_Table), so it favors fast
-// clear() and dense sequential scans over deletion support.
+// and linear probing (Algorithms 3 and 5). In_Table is rebuilt wholesale
+// per level, so fast clear() and dense sequential scans stay first-class.
+//
+// Out_Table is additionally maintained *incrementally*: when a vertex
+// moves community, its in-neighbors' entries are patched with a
+// retraction (old community) / assertion (new community) pair instead of
+// rebuilding the whole table. To support that, every entry carries a
+// contribution count — the number of in-edges currently accumulated into
+// it. retract() removes one contribution, and when the count reaches zero
+// the entry is deleted by backward-shifting the probe chain (tombstone-
+// free, so the table stays dense and scans never stumble over graves).
+// Counting contributions — rather than testing the weight against zero —
+// makes emptiness detection exact even when floating-point accumulation
+// leaves dust in the weight.
 //
 // The inverse load factor is configurable; the paper settles on 1/4 as the
 // speed/memory compromise (Fig. 6d) and we default to the same.
@@ -41,8 +52,9 @@ class EdgeTable {
     reserve(expected_entries);
   }
 
-  /// Inserts `key` with weight `w`, or adds `w` to the existing entry.
-  /// Returns true if a new entry was created.
+  /// Inserts `key` with weight `w`, or adds `w` to the existing entry,
+  /// recording one contribution either way. Returns true if a new entry
+  /// was created.
   bool insert_or_add(std::uint64_t key, weight_t w) {
     assert(key != kEmptyKey);
     if ((size_ + 1) > max_entries_) grow();
@@ -52,13 +64,58 @@ class EdgeTable {
       if (slot.key == kEmptyKey) {
         slot.key = key;
         slot.weight = w;
+        slot.count = 1;
         ++size_;
         return true;
       }
       if (slot.key == key) {
         slot.weight += w;
+        ++slot.count;
         return false;
       }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  /// Removes one contribution of weight `w` from `key`: the inverse of a
+  /// prior insert_or_add. When the last contribution is retracted the
+  /// entry is erased (backward shift, no tombstone) regardless of any
+  /// floating-point dust left in the weight. Returns true if the entry
+  /// was erased. Retracting a key that is not present is a caller bug
+  /// (asserted in debug, no-op in release).
+  bool retract(std::uint64_t key, weight_t w) {
+    assert(key != kEmptyKey);
+    if (slots_.empty()) {
+      assert(false && "retract on empty table");
+      return false;
+    }
+    std::size_t idx = slot_of(key);
+    for (;;) {
+      Slot& slot = slots_[idx];
+      if (slot.key == key) break;
+      if (slot.key == kEmptyKey) {
+        assert(false && "retract of absent key");
+        return false;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    Slot& slot = slots_[idx];
+    assert(slot.count > 0);
+    slot.weight -= w;
+    if (--slot.count > 0) return false;
+    erase_at(idx);
+    --size_;
+    return true;
+  }
+
+  /// Contributions currently accumulated into `key` (0 if absent).
+  [[nodiscard]] std::uint32_t contributions(std::uint64_t key) const noexcept {
+    if (slots_.empty()) return 0;
+    std::size_t idx = slot_of(key);
+    for (;;) {
+      const Slot& slot = slots_[idx];
+      if (slot.key == key) return slot.count;
+      if (slot.key == kEmptyKey) return 0;
       idx = (idx + 1) & mask_;
     }
   }
@@ -143,7 +200,26 @@ class EdgeTable {
   struct Slot {
     std::uint64_t key{kEmptyKey};
     weight_t weight{0};
+    std::uint32_t count{0};  // contributions accumulated into this entry
   };
+
+  /// Deletes the entry at `idx` by backward-shifting the rest of its
+  /// probe chain into the hole — the tombstone-free erase linear probing
+  /// admits. An entry at `next` may move into the hole iff the hole lies
+  /// cyclically within [home(next), next).
+  void erase_at(std::size_t idx) noexcept {
+    std::size_t hole = idx;
+    std::size_t next = (hole + 1) & mask_;
+    while (slots_[next].key != kEmptyKey) {
+      const std::size_t home = slot_of(slots_[next].key);
+      if (((next - home) & mask_) >= ((next - hole) & mask_)) {
+        slots_[hole] = slots_[next];
+        hole = next;
+      }
+      next = (next + 1) & mask_;
+    }
+    slots_[hole] = Slot{};
+  }
 
   static double clamp_load(double load) noexcept {
     if (load <= 0.0) return 0.25;
@@ -171,8 +247,17 @@ class EdgeTable {
     if (max_entries_ == 0) max_entries_ = 1;
     size_ = 0;
     for (const Slot& slot : old) {
-      if (slot.key != kEmptyKey) insert_or_add(slot.key, slot.weight);
+      if (slot.key != kEmptyKey) place(slot);
     }
+  }
+
+  /// Reinserts a fully-formed slot during rehash (preserves the
+  /// contribution count, which insert_or_add would reset to 1).
+  void place(const Slot& moved) {
+    std::size_t idx = slot_of(moved.key);
+    while (slots_[idx].key != kEmptyKey) idx = (idx + 1) & mask_;
+    slots_[idx] = moved;
+    ++size_;
   }
 
   HashKind hash_;

@@ -99,9 +99,15 @@ enum class HashKind {
 }
 
 /// The paper's literal Eq. 5 key packing: f(t1,t2) = (t1 << 16) | t2.
-/// Only injective for 16-bit ids; kept for fidelity experiments. The
-/// library default is pack_key() (32/32 split, common/types.hpp).
+///
+/// Precondition: t1 < 2^16 and t2 < 2^16. The packing is only injective
+/// for 16-bit ids — a larger t2 bleeds into t1's field and *aliases*
+/// other pairs (e.g. (0, 2^16) packs identically to (1, 0)). Kept for
+/// fidelity experiments only; debug builds assert the precondition, and
+/// callers on arbitrary graphs must use pack_key() (32/32 split,
+/// common/types.hpp) instead. See the ROADMAP audit note.
 [[nodiscard]] constexpr std::uint64_t pack_key_eq5(vid_t t1, vid_t t2) noexcept {
+  assert(t1 < (1U << 16) && t2 < (1U << 16) && "pack_key_eq5: ids must be < 2^16");
   return (static_cast<std::uint64_t>(t1) << 16) | static_cast<std::uint64_t>(t2);
 }
 

@@ -20,17 +20,39 @@
 
 namespace plv::pml {
 
+/// Default per-destination coalescing capacity (in records) for a given
+/// fleet size and record width. Targets 64 KiB chunks — large enough to
+/// amortize per-chunk overhead, small enough to stay cache- and
+/// latency-friendly — then caps the rank's total buffered footprint
+/// (nranks × chunk) at 4 MiB so wide fleets don't balloon, with a floor of
+/// 64 records so coalescing never degenerates to per-record sends. For
+/// 16-byte records at small rank counts this yields 4096, the historical
+/// default the benches sweep around.
+[[nodiscard]] constexpr std::size_t auto_aggregator_capacity(
+    int nranks, std::size_t record_size) noexcept {
+  constexpr std::size_t kTargetChunkBytes = 64ULL * 1024;
+  constexpr std::size_t kMaxTotalBytes = 4ULL * 1024 * 1024;
+  constexpr std::size_t kMinRecords = 64;
+  if (record_size == 0) return kMinRecords;
+  const std::size_t ranks = nranks > 0 ? static_cast<std::size_t>(nranks) : 1;
+  std::size_t cap = kTargetChunkBytes / record_size;
+  const std::size_t total_cap = kMaxTotalBytes / (ranks * record_size);
+  if (cap > total_cap) cap = total_cap;
+  return cap < kMinRecords ? kMinRecords : cap;
+}
+
 template <typename T>
 class Aggregator {
   static_assert(std::is_trivially_copyable_v<T>);
 
  public:
-  /// `capacity` is the per-destination coalescing buffer size in records.
-  /// The paper-scale default (4096 records) amortizes per-chunk overhead
-  /// while keeping latency low; benches sweep it.
-  explicit Aggregator(Comm& comm, std::size_t capacity = 4096)
+  /// `capacity` is the per-destination coalescing buffer size in records;
+  /// 0 (the default) auto-sizes from the fleet size and record width via
+  /// auto_aggregator_capacity(). Benches sweep explicit values.
+  explicit Aggregator(Comm& comm, std::size_t capacity = 0)
       : comm_(comm),
-        capacity_(capacity == 0 ? 1 : capacity),
+        capacity_(capacity == 0 ? auto_aggregator_capacity(comm.nranks(), sizeof(T))
+                                : capacity),
         chunk_bytes_(capacity_ * sizeof(T)),
         slots_(static_cast<std::size_t>(comm.nranks())) {}
 

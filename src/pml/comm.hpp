@@ -406,10 +406,22 @@ class Comm {
     expected_records_ = 0;
     phase_received_ = 0;
     std::fill(phase_sent_.begin(), phase_sent_.end(), 0);
+    // Phase boundary: shed free-list nodes beyond the high-water mark so a
+    // receive-heavy rank does not retain its peak footprint forever.
+    pool().trim();
   }
 
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = TrafficStats{}; }
+
+  /// High-water mark (in chunk nodes) for this rank's free list; trimmed at
+  /// each fine-grained phase boundary. 0 = unbounded (never trim).
+  void set_chunk_pool_watermark(std::size_t nodes) noexcept {
+    pool().set_watermark(nodes);
+  }
+  [[nodiscard]] std::size_t chunk_pool_free_count() const noexcept {
+    return state_->pools[me()].free_count();
+  }
 
  private:
   [[nodiscard]] std::size_t me() const noexcept { return static_cast<std::size_t>(rank_); }

@@ -113,6 +113,12 @@ class Chunk {
 /// pool owns whatever is on its free list at destruction; nodes still in
 /// flight at teardown are deleted by their current holder (mailbox or
 /// Comm destructor).
+///
+/// A receive-heavy rank (one that drains far more chunks than it sends)
+/// would otherwise retain its peak in-flight footprint forever, so the
+/// pool carries an optional high-water mark: trim() — called by the Comm
+/// at fine-grained phase boundaries — frees nodes beyond the watermark.
+/// 0 (the default) keeps the historical unbounded behavior.
 class ChunkPool {
  public:
   ChunkPool() = default;
@@ -134,6 +140,7 @@ class ChunkPool {
     Chunk* c = free_;
     if (c != nullptr) {
       free_ = c->next;
+      --free_count_;
       c->recycle();
     } else {
       c = new Chunk();
@@ -146,10 +153,30 @@ class ChunkPool {
     assert(c != nullptr);
     c->next = free_;
     free_ = c;
+    ++free_count_;
+  }
+
+  /// High-water mark in nodes; 0 = unbounded (never trim).
+  void set_watermark(std::size_t nodes) noexcept { watermark_ = nodes; }
+  [[nodiscard]] std::size_t watermark() const noexcept { return watermark_; }
+  [[nodiscard]] std::size_t free_count() const noexcept { return free_count_; }
+
+  /// Frees list nodes beyond the watermark. Cheap when already under it
+  /// (one compare); meant for phase boundaries, not the per-chunk path.
+  void trim() noexcept {
+    if (watermark_ == 0) return;
+    while (free_count_ > watermark_) {
+      Chunk* c = free_;
+      free_ = c->next;
+      delete c;
+      --free_count_;
+    }
   }
 
  private:
   Chunk* free_{nullptr};
+  std::size_t free_count_{0};
+  std::size_t watermark_{0};
 };
 
 /// Lock-free MPSC mailbox with a blocking consumer wait. Producers push

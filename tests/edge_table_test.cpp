@@ -97,6 +97,108 @@ TEST(EdgeTable, MatchesReferenceMapUnderRandomWorkload) {
   }
 }
 
+TEST(EdgeTableRetract, RoundTripsOneContribution) {
+  EdgeTable t;
+  t.insert_or_add(pack_key(3, 4), 2.5);
+  EXPECT_EQ(t.contributions(pack_key(3, 4)), 1u);
+  EXPECT_TRUE(t.retract(pack_key(3, 4), 2.5));  // last contribution ⇒ erased
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.contains(pack_key(3, 4)));
+  EXPECT_EQ(t.contributions(pack_key(3, 4)), 0u);
+}
+
+TEST(EdgeTableRetract, ErasesOnZeroContributionsNotZeroWeight) {
+  EdgeTable t;
+  // Irrational-ish weights that leave floating-point dust when subtracted.
+  t.insert_or_add(pack_key(1, 2), 0.1);
+  t.insert_or_add(pack_key(1, 2), 0.2);
+  EXPECT_EQ(t.contributions(pack_key(1, 2)), 2u);
+  EXPECT_FALSE(t.retract(pack_key(1, 2), 0.2));  // one contribution left
+  EXPECT_TRUE(t.contains(pack_key(1, 2)));
+  // 0.1 + 0.2 - 0.2 != 0.1 exactly, but the entry survives on count alone.
+  EXPECT_NEAR(t.find(pack_key(1, 2)).value(), 0.1, 1e-15);
+  EXPECT_TRUE(t.retract(pack_key(1, 2), 0.1));  // count 0 ⇒ erased despite dust
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(EdgeTableRetract, BackwardShiftKeepsProbeChainsReachable) {
+  // kConcatenated hashes key → key & mask, so keys ≡ mod 16 collide and
+  // chains near slot 15 wrap to slot 0 — the hardest case for
+  // tombstone-free deletion. The first insert grows the table to 16 slots.
+  EdgeTable t(0, 0.9, HashKind::kConcatenated);
+  const std::uint64_t keys[] = {14, 30, 46, 15, 31, 47};  // homes 14,14,14,15,15,15
+  for (std::uint64_t k : keys) t.insert_or_add(k, static_cast<weight_t>(k));
+  ASSERT_EQ(t.capacity(), 16u);
+  // Deleting from the middle of the wrapped chain must backward-shift the
+  // displaced tail (46, 15, 31, 47 sit in slots 0..3) into the hole.
+  EXPECT_TRUE(t.retract(30, 30.0));
+  for (std::uint64_t k : keys) {
+    if (k == 30) {
+      EXPECT_FALSE(t.contains(k));
+    } else {
+      ASSERT_TRUE(t.contains(k)) << k;
+      EXPECT_DOUBLE_EQ(t.find(k).value(), static_cast<weight_t>(k));
+    }
+  }
+  // Head deletion plus re-insertion reuses the compacted chain correctly.
+  EXPECT_TRUE(t.retract(14, 14.0));
+  EXPECT_TRUE(t.insert_or_add(62, 62.0));  // home 14 again
+  for (std::uint64_t k : {46u, 15u, 31u, 47u, 62u}) {
+    ASSERT_TRUE(t.contains(k)) << k;
+  }
+  EXPECT_EQ(t.size(), 5u);
+}
+
+TEST(EdgeTableRetract, RehashPreservesContributionCounts) {
+  EdgeTable t(2);  // tiny: inserting below forces at least one grow/rehash
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::uint64_t k = 1; k <= 500; ++k) t.insert_or_add(k, 1.0);
+  }
+  EXPECT_EQ(t.contributions(250), 3u);
+  // Two retracts must leave the entry; the third erases it.
+  EXPECT_FALSE(t.retract(250, 1.0));
+  EXPECT_FALSE(t.retract(250, 1.0));
+  EXPECT_TRUE(t.retract(250, 1.0));
+  EXPECT_FALSE(t.contains(250));
+}
+
+TEST(EdgeTableRetract, MatchesReferenceModelUnderRandomChurn) {
+  EdgeTable t;
+  struct Ref {
+    weight_t w{0};
+    std::uint32_t count{0};
+  };
+  std::map<std::uint64_t, Ref> ref;
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 40000; ++i) {
+    const std::uint64_t key = rng.next_below(400) + 1;
+    const weight_t w = static_cast<weight_t>(rng.next_below(8)) + 1.0;
+    auto it = ref.find(key);
+    const bool do_retract = it != ref.end() && it->second.count > 0 && rng.next_below(2) == 0;
+    if (do_retract) {
+      const bool erased = t.retract(key, w);
+      it->second.w -= w;
+      if (--it->second.count == 0) {
+        EXPECT_TRUE(erased);
+        ref.erase(it);
+      } else {
+        EXPECT_FALSE(erased);
+      }
+    } else {
+      t.insert_or_add(key, w);
+      Ref& r = ref[key];
+      r.w += w;
+      ++r.count;
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  for (const auto& [key, r] : ref) {
+    ASSERT_TRUE(t.contains(key)) << key;
+    EXPECT_EQ(t.contributions(key), r.count);
+    EXPECT_NEAR(t.find(key).value(), r.w, 1e-9);
+  }
+}
+
 class EdgeTableHashParam : public ::testing::TestWithParam<HashKind> {};
 
 TEST_P(EdgeTableHashParam, CorrectUnderEveryHashFunction) {

@@ -105,13 +105,28 @@ TEST(Eq5Packing, MatchesPaperLayoutFor16BitIds) {
   EXPECT_EQ(pack_key_eq5(0xffff, 0xffff), (0xffffULL << 16) | 0xffffULL);
 }
 
-TEST(Eq5Packing, CollidesAbove16Bits) {
-  // Documented limitation of the literal Eq. 5: ids >= 2^16 alias.
-  // (1 << 16) | 0x10000 == 0x10000 == (0 << 16) | 0x10000 — the second id
-  // bleeds into the first id's field.
+TEST(Eq5Packing, AliasingBoundary) {
+  // The last non-aliasing pair: both ids at the 16-bit ceiling round-trip.
+  const std::uint64_t top = pack_key_eq5(0xffff, 0xffff);
+  EXPECT_EQ(top >> 16, 0xffffULL);
+  EXPECT_EQ(top & 0xffffULL, 0xffffULL);
+#ifdef NDEBUG
+  // Documented limitation of the literal Eq. 5: ids >= 2^16 alias — the
+  // second id bleeds into the first id's field, e.g. (0, 2^16) packs
+  // identically to (1, 0). Only observable in release builds; debug
+  // builds assert the precondition instead (checked below).
   EXPECT_EQ(pack_key_eq5(1, 0x10000), pack_key_eq5(1, 0));
   EXPECT_EQ(pack_key_eq5(0, 0x10000), pack_key_eq5(1, 0));
+#endif
 }
+
+#ifndef NDEBUG
+TEST(Eq5PackingDeathTest, RejectsIdsAbove16BitsInDebug) {
+  // Precondition violations must die loudly rather than silently alias.
+  EXPECT_DEATH((void)pack_key_eq5(0, 0x10000), "pack_key_eq5");
+  EXPECT_DEATH((void)pack_key_eq5(0x10000, 0), "pack_key_eq5");
+}
+#endif
 
 TEST(FibonacciHash, MatchesEq6Definition) {
   // Eq. 6 with W = 2^64 and M = 2^k equals the top k bits of x * (W/φ).

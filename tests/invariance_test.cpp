@@ -67,7 +67,7 @@ TEST(Invariance, AggregatorCapacityDoesNotChangeResult) {
   ParOptions base;
   base.nranks = 4;
   const auto reference = run(edges, base);
-  for (std::size_t cap : {1ul, 7ul, 100000ul}) {
+  for (std::size_t cap : {0ul /* auto */, 1ul, 7ul, 100000ul}) {
     ParOptions opts = base;
     opts.aggregator_capacity = cap;
     const auto r = run(edges, opts);

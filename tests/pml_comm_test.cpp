@@ -155,6 +155,25 @@ TEST_P(CommTest, TrafficCountersTrackExchange) {
   });
 }
 
+TEST_P(CommTest, ChunkPoolTrimmedAtPhaseBoundary) {
+  const int nranks = GetParam();
+  Runtime::run(nranks, [&](Comm& comm) {
+    constexpr std::size_t kWatermark = 4;
+    comm.set_chunk_pool_watermark(kWatermark);
+    // Flood every destination with many small chunks so each rank's pool
+    // accumulates far more released nodes than the watermark...
+    for (int round = 0; round < 8; ++round) {
+      for (int d = 0; d < nranks; ++d) {
+        const int value = comm.rank();
+        comm.send_chunk(d, &value, sizeof value, 1);
+      }
+      comm.drain_until_quiescent<int>([](int, std::span<const int>) {});
+      // ...and verify the phase boundary clamped the free list back down.
+      EXPECT_LE(comm.chunk_pool_free_count(), kWatermark);
+    }
+  });
+}
+
 INSTANTIATE_TEST_SUITE_P(RankCounts, CommTest, ::testing::Values(1, 2, 3, 4, 8),
                          [](const auto& info) {
                            return "nranks" + std::to_string(info.param);

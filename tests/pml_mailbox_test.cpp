@@ -60,6 +60,60 @@ TEST(ChunkPool, ReusesReleasedNodes) {
   pool.release(b);
 }
 
+TEST(ChunkPool, TracksFreeCount) {
+  ChunkPool pool;
+  EXPECT_EQ(pool.free_count(), 0u);
+  Chunk* a = pool.acquire(32);
+  Chunk* b = pool.acquire(32);
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.free_count(), 2u);
+  Chunk* c = pool.acquire(32);
+  EXPECT_EQ(pool.free_count(), 1u);
+  pool.release(c);
+}
+
+TEST(ChunkPool, TrimEnforcesWatermark) {
+  ChunkPool pool;
+  pool.set_watermark(2);
+  std::vector<Chunk*> held;
+  for (int i = 0; i < 8; ++i) held.push_back(pool.acquire(64));
+  for (Chunk* c : held) pool.release(c);
+  EXPECT_EQ(pool.free_count(), 8u);
+  pool.trim();
+  EXPECT_EQ(pool.free_count(), 2u);
+  // Survivors are still usable after the trim.
+  Chunk* a = pool.acquire(64);
+  Chunk* b = pool.acquire(64);
+  EXPECT_EQ(pool.free_count(), 0u);
+  pool.release(a);
+  pool.release(b);
+}
+
+TEST(ChunkPool, ZeroWatermarkNeverTrims) {
+  ChunkPool pool;  // watermark defaults to 0 = unbounded
+  std::vector<Chunk*> held;
+  for (int i = 0; i < 16; ++i) held.push_back(pool.acquire(16));
+  for (Chunk* c : held) pool.release(c);
+  pool.trim();
+  EXPECT_EQ(pool.free_count(), 16u);
+  pool.set_watermark(0);
+  pool.trim();
+  EXPECT_EQ(pool.free_count(), 16u);
+}
+
+TEST(ChunkPool, TrimUnderWatermarkIsANoOp) {
+  ChunkPool pool;
+  pool.set_watermark(8);
+  Chunk* a = pool.acquire(16);
+  pool.release(a);
+  pool.trim();
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_EQ(pool.acquire(16), a);  // the survivor is the same node
+  pool.release(a);
+}
+
 TEST(Mailbox, DrainPreservesPerProducerFifoOrder) {
   // The quiescence protocol requires a sender's data chunks to be
   // delivered before its end-of-phase marker.

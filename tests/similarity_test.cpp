@@ -121,8 +121,8 @@ TEST(Similarity, BoundsHoldOnRandomInputs) {
 }
 
 TEST(Similarity, ThrowsOnMismatchedOrEmptyInput) {
-  EXPECT_THROW(similarity({0, 1}, {0}), std::invalid_argument);
-  EXPECT_THROW(similarity({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)similarity({0, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW((void)similarity({}, {}), std::invalid_argument);
 }
 
 TEST(Similarity, SingleVertex) {
