@@ -35,6 +35,7 @@ int main() {
   // path — the same no-global-edge-list setup as the paper's 138 G-edge
   // runs.
   std::cout << "(a) weak scaling\n";
+  std::string transport;  // stamped by the first run
   plv::TextTable weak({"workload", "ranks", "edges", "first-level-s", "TEPS", "Q",
                        "records-sent/rank"});
   for (int ranks : {1, 2, 4, 8}) {
@@ -45,14 +46,14 @@ int main() {
     const std::uint64_t total = static_cast<std::uint64_t>(rp.edge_factor) << rp.scale;
     plv::core::ParOptions opts;
     opts.nranks = ranks;
-    const auto r = plv::core::louvain_parallel_streamed(
-        [&](int rank, int nranks) {
-          const std::uint64_t per = total / static_cast<std::uint64_t>(nranks);
-          const std::uint64_t first = per * static_cast<std::uint64_t>(rank);
-          return plv::gen::rmat_slice(rp, first,
-                                      rank == nranks - 1 ? total - first : per);
-        },
-        1u << rp.scale, opts);
+    const plv::EdgeSliceFn slice = [&](int rank, int nranks) {
+      const std::uint64_t per = total / static_cast<std::uint64_t>(nranks);
+      const std::uint64_t first = per * static_cast<std::uint64_t>(rank);
+      return plv::gen::rmat_slice(rp, first, rank == nranks - 1 ? total - first : per);
+    };
+    const auto r =
+        plv::louvain(plv::GraphSource::from_stream(slice, 1u << rp.scale), opts);
+    transport = r.transport;
     const double s = first_level_seconds(r);
     weak.row()
         .add("R-MAT (streamed)")
@@ -72,7 +73,7 @@ int main() {
       const auto g = plv::gen::bter(bp);
       plv::core::ParOptions opts;
       opts.nranks = ranks;
-      const auto r = plv::core::louvain_parallel(g.edges, bp.n, opts);
+      const auto r = plv::louvain(plv::GraphSource::from_edges(g.edges, bp.n), opts);
       const double s = first_level_seconds(r);
       weak.row()
           .add("BTER gcc=" + std::to_string(gcc).substr(0, 4))
@@ -106,7 +107,8 @@ int main() {
     plv::core::ParOptions opts;
     opts.nranks = ranks;
     {
-      const auto r = plv::core::louvain_parallel(rmat_edges, 1u << rp.scale, opts);
+      const auto r =
+          plv::louvain(plv::GraphSource::from_edges(rmat_edges, 1u << rp.scale), opts);
       const double s = first_level_seconds(r);
       strong.row()
           .add("R-MAT scale 15")
@@ -116,7 +118,8 @@ int main() {
           .add(r.traffic.records_sent);
     }
     {
-      const auto r = plv::core::louvain_parallel(bter_graph.edges, bp.n, opts);
+      const auto r =
+          plv::louvain(plv::GraphSource::from_edges(bter_graph.edges, bp.n), opts);
       const double s = first_level_seconds(r);
       strong.row()
           .add("BTER n=25k")
@@ -127,6 +130,7 @@ int main() {
     }
   }
   strong.print();
+  std::cout << "\ntransport: " << transport << "\n";
   std::cout << "\n(single-core container: TEPS cannot grow with ranks here; on real\n"
                " hardware the paper reaches 1.54 GTEPS on 8192 BG/Q nodes)\n";
   return 0;

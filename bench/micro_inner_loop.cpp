@@ -55,3 +55,16 @@ void BM_RefineInnerLoop(benchmark::State& state) {
 // Arg = full_rebuild_every: 1 = legacy full rebuild, 0 = pure delta,
 // 4 = hybrid cadence.
 BENCHMARK(BM_RefineInnerLoop)->Arg(1)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Custom main instead of benchmark_main: stamp the pml transport into the
+// benchmark context so published JSON records which backend carried the run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "transport", plv::pml::transport_kind_name(
+                       plv::pml::resolve_transport(plv::pml::TransportKind::kThread)));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

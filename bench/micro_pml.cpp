@@ -118,3 +118,16 @@ void BM_AggregatorThroughput(benchmark::State& state) {
 BENCHMARK(BM_AggregatorThroughput)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: stamp the pml transport into the
+// benchmark context so published JSON records which backend carried the run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "transport", plv::pml::transport_kind_name(
+                       plv::pml::resolve_transport(plv::pml::TransportKind::kThread)));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -49,10 +49,12 @@ int usage() {
       "         er:   --n N --m M --seed S\n"
       "  stats  --graph FILE\n"
       "  detect --graph FILE [--engine par|seq|lp] [--ranks N]\n"
-      "         [--resolution G] [--out FILE] [--tree FILE] [--warm FILE]\n"
-      "  bfs    --graph FILE --root R [--ranks N]\n"
-      "  cc     --graph FILE [--ranks N]\n"
-      "  sssp   --graph FILE --root R [--ranks N]\n";
+      "         [--transport thread|proc] [--resolution G]\n"
+      "         [--out FILE] [--tree FILE] [--warm FILE]\n"
+      "  bfs    --graph FILE --root R [--ranks N] [--transport thread|proc]\n"
+      "  cc     --graph FILE [--ranks N] [--transport thread|proc]\n"
+      "  sssp   --graph FILE --root R [--ranks N] [--transport thread|proc]\n"
+      "The PLV_TRANSPORT environment variable overrides --transport.\n";
   return 2;
 }
 
@@ -66,6 +68,7 @@ plv::core::ParOptions par_opts(const plv::Cli& cli) {
   plv::core::ParOptions opts;
   opts.nranks = static_cast<int>(cli.get_int("ranks", 4));
   opts.resolution = cli.get_double("resolution", 1.0);
+  opts.transport = plv::pml::parse_transport_kind(cli.get_string("transport", "thread"));
   return opts;
 }
 
@@ -145,15 +148,16 @@ int cmd_detect(const plv::Cli& cli) {
     labels = plv::seq::label_propagation(g).labels;
   } else if (engine == "par") {
     const auto opts = par_opts(cli);
-    plv::core::ParResult r;
+    std::vector<plv::vid_t> seed_labels;
+    plv::Result r;
     if (cli.has("warm")) {
-      const auto seed_labels =
-          plv::graph::load_communities(cli.get_string("warm", ""));
-      r = plv::core::louvain_parallel_warm(edges, 0, seed_labels, opts);
+      seed_labels = plv::graph::load_communities(cli.get_string("warm", ""));
+      r = plv::louvain(plv::GraphSource::from_edges_warm(edges, seed_labels), opts);
     } else {
-      r = plv::core::louvain_parallel(edges, 0, opts);
+      r = plv::louvain(plv::GraphSource::from_edges(edges), opts);
     }
     labels = r.final_labels;
+    std::cout << "transport    " << r.transport << '\n';
     hierarchy = std::make_unique<plv::core::Hierarchy>(r);
   } else {
     std::cerr << "unknown --engine " << engine << '\n';

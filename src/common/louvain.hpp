@@ -1,17 +1,26 @@
-// Result types shared by the sequential baseline and the parallel engine.
+// Result types shared by the sequential baseline and the parallel engine,
+// plus the library front door plv::louvain().
 //
-// Both produce the same artifact shape — a hierarchy of levels, each with
-// its partition, modularity and inner-loop traces — so the quality benches
-// (Fig. 4/5, Table III) can compare them row by row.
+// Both engines produce the same artifact shape — a hierarchy of levels,
+// each with its partition, modularity and inner-loop traces — so the
+// quality benches (Fig. 4/5, Table III) can compare them row by row.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/timer.hpp"
+#include "common/traffic.hpp"
 #include "common/types.hpp"
+#include "graph/edge_list.hpp"
 
 namespace plv {
+
+namespace core {
+struct ParOptions;  // core/options.hpp
+}
 
 /// Per-inner-iteration telemetry of one hierarchy level. `moved_fraction`
 /// is the fraction of the level's vertices that changed community in that
@@ -40,6 +49,9 @@ struct LouvainLevel {
   std::vector<vid_t> labels;       // community per level-vertex, dense 0..k-1
   double modularity{0.0};
   double seconds{0.0};             // wall time of this level (refine + rebuild)
+  // Communication volume of this level, summed over ranks (parallel engine
+  // only; zero for the sequential baseline).
+  TrafficStats traffic;
   LevelTrace trace;
 };
 
@@ -66,6 +78,83 @@ struct LouvainResult {
     return out;
   }
 };
+
+/// Artifact of a parallel run (and the return type of plv::louvain): the
+/// common hierarchy plus communication volume and runtime telemetry.
+struct Result : LouvainResult {
+  TrafficStats traffic;              // whole-run volume, summed over ranks
+  std::vector<double> rank_seconds;  // per-rank wall time (incl. waits)
+  std::string transport;             // pml backend that carried the run
+};
+
+/// Produces the edge-list slice a given rank contributes to the input
+/// graph. Slices must partition the edge multiset (each undirected edge
+/// in exactly one slice); vertex ids may reference any vertex.
+using EdgeSliceFn = std::function<graph::EdgeList(int rank, int nranks)>;
+
+/// What plv::louvain should run on — one of three ingestion modes behind
+/// a single entry point:
+///
+///   from_edges       cold start on a materialized edge list;
+///   from_edges_warm  same, but refinement starts from a previous run's
+///                    partition instead of singletons (dynamic graphs);
+///   from_stream      distributed ingestion — no rank ever materializes
+///                    the whole edge list; each generates its own slice.
+///
+/// The source is a non-owning view: the referenced edge list / label
+/// vector / slice function must outlive the louvain() call (they are
+/// read concurrently by all ranks).
+class GraphSource {
+ public:
+  [[nodiscard]] static GraphSource from_edges(const graph::EdgeList& edges,
+                                              vid_t n_vertices = 0) {
+    GraphSource s;
+    s.edges_ = &edges;
+    s.n_vertices_ = n_vertices;
+    return s;
+  }
+
+  [[nodiscard]] static GraphSource from_edges_warm(const graph::EdgeList& edges,
+                                                   const std::vector<vid_t>& initial_labels,
+                                                   vid_t n_vertices = 0) {
+    GraphSource s;
+    s.edges_ = &edges;
+    s.initial_labels_ = &initial_labels;
+    s.n_vertices_ = n_vertices;
+    return s;
+  }
+
+  [[nodiscard]] static GraphSource from_stream(const EdgeSliceFn& slice_of,
+                                               vid_t n_vertices) {
+    GraphSource s;
+    s.slice_of_ = &slice_of;
+    s.n_vertices_ = n_vertices;
+    return s;
+  }
+
+  [[nodiscard]] const graph::EdgeList* edges() const noexcept { return edges_; }
+  [[nodiscard]] const std::vector<vid_t>* initial_labels() const noexcept {
+    return initial_labels_;
+  }
+  [[nodiscard]] const EdgeSliceFn* stream() const noexcept { return slice_of_; }
+  [[nodiscard]] vid_t n_vertices() const noexcept { return n_vertices_; }
+
+ private:
+  GraphSource() = default;
+  const graph::EdgeList* edges_{nullptr};
+  const std::vector<vid_t>* initial_labels_{nullptr};
+  const EdgeSliceFn* slice_of_{nullptr};
+  vid_t n_vertices_{0};
+};
+
+/// The library front door: one call for cold, warm, and streamed parallel
+/// community detection. Validates `opts`, resolves the transport
+/// (ParOptions::transport, overridable via PLV_TRANSPORT), runs the
+/// engine on opts.nranks ranks, and returns the full artifact — labels,
+/// per-level modularity/traffic, phase timers, and the transport that
+/// carried the run. Deterministic for fixed options and input, on every
+/// transport. Defined in core/louvain_par.cpp.
+[[nodiscard]] Result louvain(const GraphSource& graph, const core::ParOptions& opts);
 
 /// Phase names matching the paper's Fig. 8 legend; both engines report
 /// timings under these keys.

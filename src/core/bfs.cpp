@@ -105,17 +105,21 @@ BfsResult bfs_rank(pml::Comm& comm, const graph::EdgeList& edges, vid_t n, vid_t
 
 BfsResult bfs_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t root,
                        const ParOptions& opts) {
+  opts.validate();
   const vid_t n = std::max(n_vertices, edges.vertex_count());
   BfsResult result;
   if (n == 0 || root >= n) return result;
   std::mutex mutex;
-  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
-    BfsResult local = bfs_rank(comm, edges, n, root, opts);
-    if (comm.rank() == 0) {
-      std::scoped_lock lock(mutex);
-      result = std::move(local);
-    }
-  });
+  pml::Runtime::run(
+      opts.nranks,
+      [&](pml::Comm& comm) {
+        BfsResult local = bfs_rank(comm, edges, n, root, opts);
+        if (comm.rank() == 0) {
+          std::scoped_lock lock(mutex);
+          result = std::move(local);
+        }
+      },
+      pml::resolve_transport(opts.transport));
   return result;
 }
 

@@ -89,17 +89,21 @@ ComponentsResult components_rank(pml::Comm& comm, const graph::EdgeList& edges,
 
 ComponentsResult connected_components_parallel(const graph::EdgeList& edges,
                                                vid_t n_vertices, const ParOptions& opts) {
+  opts.validate();
   const vid_t n = std::max(n_vertices, edges.vertex_count());
   ComponentsResult result;
   if (n == 0) return result;
   std::mutex mutex;
-  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
-    ComponentsResult local = components_rank(comm, edges, n, opts);
-    if (comm.rank() == 0) {
-      std::scoped_lock lock(mutex);
-      result = std::move(local);
-    }
-  });
+  pml::Runtime::run(
+      opts.nranks,
+      [&](pml::Comm& comm) {
+        ComponentsResult local = components_rank(comm, edges, n, opts);
+        if (comm.rank() == 0) {
+          std::scoped_lock lock(mutex);
+          result = std::move(local);
+        }
+      },
+      pml::resolve_transport(opts.transport));
   return result;
 }
 

@@ -804,6 +804,7 @@ class RankEngine {
 ParResult run_levels(pml::Comm& comm, RankEngine& engine, vid_t n, const ParOptions& opts,
                      WallTimer& busy) {
   ParResult result;
+  result.transport = comm.transport_name();
   result.final_labels.resize(n);
   if (engine.two_m() <= 0) {
     // Weightless graph: every vertex is its own community, Q = 0 by
@@ -817,7 +818,17 @@ ParResult run_levels(pml::Comm& comm, RankEngine& engine, vid_t n, const ParOpti
   double prev_q = -2.0;  // below any attainable modularity
   for (int level_idx = 0; level_idx < opts.max_levels; ++level_idx) {
     bool compressed = false;
+    const TrafficStats level_start = comm.stats();
     LouvainLevel level = engine.run_level(compressed);
+    // Per-level communication volume: this rank's delta over the level,
+    // summed across ranks. (The reductions below count toward the *next*
+    // level's delta — a fixed, rank-identical 5 collectives of skew.)
+    const TrafficStats delta = traffic_delta(comm.stats(), level_start);
+    level.traffic.records_sent = comm.allreduce_sum(delta.records_sent);
+    level.traffic.records_received = comm.allreduce_sum(delta.records_received);
+    level.traffic.bytes_sent = comm.allreduce_sum(delta.bytes_sent);
+    level.traffic.chunks_sent = comm.allreduce_sum(delta.chunks_sent);
+    level.traffic.collectives = comm.allreduce_sum(delta.collectives);
 
     const bool improved = level.modularity - prev_q >= opts.q_tolerance;
     if (!improved && level_idx > 0) break;
@@ -854,8 +865,13 @@ ParResult run_levels(pml::Comm& comm, RankEngine& engine, vid_t n, const ParOpti
 
 ParResult louvain_rank(pml::Comm& comm, const graph::EdgeList& edges, vid_t n_vertices,
                        const ParOptions& opts) {
+  opts.validate();
   const vid_t n = std::max(n_vertices, edges.vertex_count());
-  if (n == 0) return ParResult{};
+  if (n == 0) {
+    ParResult empty;
+    empty.transport = comm.transport_name();
+    return empty;
+  }
   WallTimer busy;
   RankEngine engine(comm, opts);
   engine.init_from_edges(edges, n);
@@ -865,8 +881,11 @@ ParResult louvain_rank(pml::Comm& comm, const graph::EdgeList& edges, vid_t n_ve
 ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
                                 const std::vector<vid_t>& initial_labels,
                                 const ParOptions& opts) {
+  opts.validate();
+  const pml::TransportKind kind = pml::resolve_transport(opts.transport);
   const vid_t n = std::max(n_vertices, edges.vertex_count());
   ParResult result;
+  result.transport = pml::transport_kind_name(kind);
   if (n == 0) return result;
   if (initial_labels.size() < n) {
     throw std::invalid_argument("louvain_parallel_warm: labels shorter than vertex count");
@@ -877,51 +896,84 @@ ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
     }
   }
   std::mutex result_mutex;
-  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
-    WallTimer busy;
-    RankEngine engine(comm, opts);
-    engine.init_from_edges(edges, n);
-    engine.warm_start(initial_labels);
-    ParResult local = run_levels(comm, engine, n, opts, busy);
-    if (comm.rank() == 0) {
-      std::scoped_lock lock(result_mutex);
-      result = std::move(local);
-    }
-  });
+  pml::Runtime::run(
+      opts.nranks,
+      [&](pml::Comm& comm) {
+        WallTimer busy;
+        RankEngine engine(comm, opts);
+        engine.init_from_edges(edges, n);
+        engine.warm_start(initial_labels);
+        ParResult local = run_levels(comm, engine, n, opts, busy);
+        if (comm.rank() == 0) {
+          std::scoped_lock lock(result_mutex);
+          result = std::move(local);
+        }
+      },
+      kind);
   return result;
 }
 
 ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of, vid_t n_vertices,
                                     const ParOptions& opts) {
+  opts.validate();
+  const pml::TransportKind kind = pml::resolve_transport(opts.transport);
   ParResult result;
+  result.transport = pml::transport_kind_name(kind);
   if (n_vertices == 0) return result;
   std::mutex result_mutex;
-  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
-    WallTimer busy;
-    RankEngine engine(comm, opts);
-    const graph::EdgeList slice = slice_of(comm.rank(), comm.nranks());
-    engine.init_from_slice(slice, n_vertices);
-    ParResult local = run_levels(comm, engine, n_vertices, opts, busy);
-    if (comm.rank() == 0) {
-      std::scoped_lock lock(result_mutex);
-      result = std::move(local);
-    }
-  });
+  pml::Runtime::run(
+      opts.nranks,
+      [&](pml::Comm& comm) {
+        WallTimer busy;
+        RankEngine engine(comm, opts);
+        const graph::EdgeList slice = slice_of(comm.rank(), comm.nranks());
+        engine.init_from_slice(slice, n_vertices);
+        ParResult local = run_levels(comm, engine, n_vertices, opts, busy);
+        if (comm.rank() == 0) {
+          std::scoped_lock lock(result_mutex);
+          result = std::move(local);
+        }
+      },
+      kind);
   return result;
 }
 
 ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
                            const ParOptions& opts) {
+  opts.validate();
+  const pml::TransportKind kind = pml::resolve_transport(opts.transport);
   ParResult result;
+  result.transport = pml::transport_kind_name(kind);
   std::mutex result_mutex;
-  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
-    ParResult local = louvain_rank(comm, edges, n_vertices, opts);
-    if (comm.rank() == 0) {
-      std::scoped_lock lock(result_mutex);
-      result = std::move(local);
-    }
-  });
+  pml::Runtime::run(
+      opts.nranks,
+      [&](pml::Comm& comm) {
+        ParResult local = louvain_rank(comm, edges, n_vertices, opts);
+        if (comm.rank() == 0) {
+          std::scoped_lock lock(result_mutex);
+          result = std::move(local);
+        }
+      },
+      kind);
   return result;
 }
 
 }  // namespace plv::core
+
+namespace plv {
+
+Result louvain(const GraphSource& graph, const core::ParOptions& opts) {
+  if (graph.stream() != nullptr) {
+    return core::louvain_parallel_streamed(*graph.stream(), graph.n_vertices(), opts);
+  }
+  if (graph.edges() == nullptr) {
+    throw std::invalid_argument("louvain: GraphSource carries no edges and no stream");
+  }
+  if (graph.initial_labels() != nullptr) {
+    return core::louvain_parallel_warm(*graph.edges(), graph.n_vertices(),
+                                       *graph.initial_labels(), opts);
+  }
+  return core::louvain_parallel(*graph.edges(), graph.n_vertices(), opts);
+}
+
+}  // namespace plv

@@ -30,15 +30,18 @@
 namespace plv::core {
 
 /// Parallel run artifact: the common hierarchy plus communication volume.
-struct ParResult : LouvainResult {
-  pml::TrafficStats traffic;          // summed over ranks
-  std::vector<double> rank_seconds;   // per-rank wall time (incl. waits)
-};
+/// (The type now lives in common/louvain.hpp as plv::Result so the
+/// plv::louvain front door can return it; this alias keeps the historical
+/// core-level name working.)
+using ParResult = plv::Result;
 
-/// Runs the parallel algorithm over `edges` on `opts.nranks` ranks
-/// (threads), returning per-level partitions, modularity, traces, phase
-/// timers (Fig. 8 names) and traffic counters. `n_vertices` may be 0 to
-/// size from the edge list. Deterministic for fixed options and input.
+/// Runs the parallel algorithm over `edges` on `opts.nranks` ranks,
+/// returning per-level partitions, modularity, traces, phase timers
+/// (Fig. 8 names) and traffic counters. The rank substrate is
+/// opts.transport (threads by default, forked processes with kProc),
+/// overridable via PLV_TRANSPORT. `n_vertices` may be 0 to size from the
+/// edge list. Deterministic for fixed options and input, on every
+/// transport.
 [[nodiscard]] ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
                                          const ParOptions& opts);
 
@@ -51,9 +54,9 @@ struct ParResult : LouvainResult {
                                      vid_t n_vertices, const ParOptions& opts);
 
 /// Produces the edge-list slice a given rank contributes to the input
-/// graph. Slices must partition the edge multiset (each undirected edge
-/// in exactly one slice); vertex ids may reference any vertex.
-using EdgeSliceFn = std::function<graph::EdgeList(int rank, int nranks)>;
+/// graph (now defined in common/louvain.hpp for the plv::louvain front
+/// door; aliased here for existing call sites).
+using EdgeSliceFn = plv::EdgeSliceFn;
 
 /// Distributed ingestion: no rank ever sees the whole edge list. Each
 /// rank generates its slice and streams the In_Table entries to the edge

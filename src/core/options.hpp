@@ -4,11 +4,38 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "graph/partition.hpp"
 #include "hashing/hash_fns.hpp"
+#include "pml/transport.hpp"
 
 namespace plv::core {
+
+// Named values for the knobs whose numeric defaults double as mode
+// switches. Use these instead of raw 0/1 literals at call sites — the
+// literal alone does not say *which* special behavior it selects.
+
+/// ParOptions::aggregator_capacity — size the per-destination coalescing
+/// buffers from the fleet size and record width
+/// (pml::auto_aggregator_capacity) instead of a fixed record count.
+inline constexpr std::size_t kAutoAggregatorCapacity = 0;
+
+/// ParOptions::chunk_pool_watermark — never trim the per-rank chunk free
+/// list (the historical unbounded-pool behavior).
+inline constexpr std::size_t kUnboundedChunkPool = 0;
+
+/// ParOptions::full_rebuild_every — rebuild the Out_Table from scratch in
+/// every inner iteration (the legacy pre-delta behavior; the ablation
+/// baseline for the incremental-maintenance benches).
+inline constexpr int kRebuildEveryIteration = 1;
+
+/// ParOptions::full_rebuild_every — never schedule a cadence rebuild; ship
+/// retraction/assertion deltas only (the traffic-based fallback to a full
+/// rebuild still applies when the delta would be larger).
+inline constexpr int kNeverRebuild = 0;
 
 /// The convergence heuristic's ε(iter) model (paper Section IV-B).
 enum class ThresholdModel {
@@ -51,6 +78,13 @@ struct ParOptions {
   int nranks{4};
   graph::PartitionKind partition{graph::PartitionKind::kCyclic};
 
+  // Rank substrate: threads (default, shared-memory zero-copy) or forked
+  // processes over Unix-domain sockets. The PLV_TRANSPORT environment
+  // variable, when set, overrides this for every entry point that calls
+  // pml::resolve_transport — which all core front doors do. Results are
+  // bit-identical across backends for fixed seeds.
+  pml::TransportKind transport{pml::TransportKind::kThread};
+
   // Convergence. The inner loop stops on zero moves or after
   // `stagnation_window` consecutive iterations with < q_tolerance
   // improvement (one stagnant low-ε iteration is normal, not convergence).
@@ -72,23 +106,25 @@ struct ParOptions {
   hashing::HashKind hash{hashing::HashKind::kFibonacci};
   double table_max_load{0.25};
 
-  // Messaging: per-destination coalescing buffer, in records. 0 = auto-size
-  // from the fleet size and record width (pml::auto_aggregator_capacity);
-  // explicit values are honored for sweeps.
-  std::size_t aggregator_capacity{0};
+  // Messaging: per-destination coalescing buffer, in records.
+  // kAutoAggregatorCapacity sizes it from the fleet size and record width
+  // (pml::auto_aggregator_capacity); explicit values are honored for
+  // sweeps.
+  std::size_t aggregator_capacity{kAutoAggregatorCapacity};
 
   // Free-list high-water mark, in chunk nodes per rank; trimmed at phase
-  // boundaries. 0 = unbounded.
+  // boundaries. kUnboundedChunkPool = never trim.
   std::size_t chunk_pool_watermark{256};
 
-  // Out_Table maintenance cadence: a full state-propagation rebuild every N
-  // inner iterations, with incremental retraction/assertion deltas in
-  // between. 1 = rebuild every iteration (the legacy behavior), 0 = never
-  // rebuild (pure delta). Independent of cadence, an iteration falls back
-  // to a full rebuild whenever the delta would ship at least as many
-  // records — so the delta path never loses on traffic. On integer-weight
-  // graphs the two paths are bit-identical; on irrational weights the
-  // cadence bounds floating-point drift (see DESIGN.md).
+  // Out_Table maintenance cadence: a full state-propagation rebuild every
+  // N inner iterations, with incremental retraction/assertion deltas in
+  // between. kRebuildEveryIteration restores the legacy always-rebuild
+  // behavior; kNeverRebuild ships deltas only. Independent of cadence, an
+  // iteration falls back to a full rebuild whenever the delta would ship
+  // at least as many records — so the delta path never loses on traffic.
+  // On integer-weight graphs the two paths are bit-identical; on
+  // irrational weights the cadence bounds floating-point drift (see
+  // DESIGN.md).
   int full_rebuild_every{16};
 
   // Resolution γ of generalized modularity (1 = Newman's Eq. 3). Larger
@@ -97,6 +133,67 @@ struct ParOptions {
 
   // Telemetry.
   bool record_trace{true};
+
+  /// Rejects inconsistent knob combinations with messages that name the
+  /// offending field, the offered value, and the accepted range. Called
+  /// by every core entry point before any rank is spawned, so a bad
+  /// configuration fails on the caller instead of aborting a fleet.
+  void validate() const {
+    auto fail = [](const std::string& msg) { throw std::invalid_argument("ParOptions: " + msg); };
+    if (nranks < 1) {
+      fail("nranks must be >= 1, got " + std::to_string(nranks));
+    }
+    // Negated comparisons so NaN fails the check instead of slipping by.
+    if (!(q_tolerance >= 0.0)) {
+      fail("q_tolerance must be >= 0, got " + std::to_string(q_tolerance));
+    }
+    if (max_inner_iterations < 1) {
+      fail("max_inner_iterations must be >= 1, got " +
+           std::to_string(max_inner_iterations) + " (the inner loop needs at least one sweep)");
+    }
+    if (max_levels < 1) {
+      fail("max_levels must be >= 1, got " + std::to_string(max_levels));
+    }
+    if (stagnation_window < 1) {
+      fail("stagnation_window must be >= 1, got " + std::to_string(stagnation_window));
+    }
+    if (threshold != ThresholdModel::kNone) {
+      if (!(p1 > 0.0)) {
+        fail("p1 must be > 0 when a threshold model is active, got " + std::to_string(p1) +
+             " (use ThresholdModel::kNone to disable the heuristic)");
+      }
+      if (!(p2 > 0.0)) {
+        fail("p2 must be > 0 when a threshold model is active, got " + std::to_string(p2) +
+             " (use ThresholdModel::kNone to disable the heuristic)");
+      }
+    }
+    if (gain_histogram_bins < 1) {
+      fail("gain_histogram_bins must be >= 1, got " + std::to_string(gain_histogram_bins));
+    }
+    if (!(table_max_load > 0.0) || !(table_max_load <= 1.0)) {
+      fail("table_max_load must be in (0, 1], got " + std::to_string(table_max_load));
+    }
+    // Records are at most a few dozen bytes; this bound keeps
+    // capacity * record_size far from std::size_t overflow while allowing
+    // any buffer that could conceivably fit in memory.
+    constexpr std::size_t kMaxAggregatorCapacity =
+        std::numeric_limits<std::size_t>::max() / 256;
+    if (aggregator_capacity > kMaxAggregatorCapacity) {
+      fail("aggregator_capacity " + std::to_string(aggregator_capacity) +
+           " would overflow the chunk byte size; use kAutoAggregatorCapacity (0) to auto-size");
+    }
+    if (full_rebuild_every < 0) {
+      fail("full_rebuild_every must be >= 0, got " + std::to_string(full_rebuild_every) +
+           " (kNeverRebuild = 0 ships deltas only, kRebuildEveryIteration = 1 always rebuilds)");
+    }
+    if (!(resolution > 0.0) || !std::isfinite(resolution)) {
+      fail("resolution must be a positive finite value, got " + std::to_string(resolution));
+    }
+    if (transport != pml::TransportKind::kThread && transport != pml::TransportKind::kProc) {
+      fail("transport holds an invalid TransportKind value " +
+           std::to_string(static_cast<int>(transport)) + " (valid: kThread, kProc)");
+    }
+  }
 };
 
 }  // namespace plv::core

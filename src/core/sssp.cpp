@@ -151,17 +151,21 @@ weight_t sssp_infinity() noexcept { return std::numeric_limits<weight_t>::infini
 SsspResult sssp_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t root,
                          const ParOptions& opts) {
   check_weights(edges);
+  opts.validate();
   const vid_t n = std::max(n_vertices, edges.vertex_count());
   SsspResult result;
   if (n == 0 || root >= n) return result;
   std::mutex mutex;
-  pml::Runtime::run(opts.nranks, [&](pml::Comm& comm) {
-    SsspResult local = sssp_rank(comm, edges, n, root, opts);
-    if (comm.rank() == 0) {
-      std::scoped_lock lock(mutex);
-      result = std::move(local);
-    }
-  });
+  pml::Runtime::run(
+      opts.nranks,
+      [&](pml::Comm& comm) {
+        SsspResult local = sssp_rank(comm, edges, n, root, opts);
+        if (comm.rank() == 0) {
+          std::scoped_lock lock(mutex);
+          result = std::move(local);
+        }
+      },
+      pml::resolve_transport(opts.transport));
   return result;
 }
 

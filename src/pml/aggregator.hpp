@@ -84,9 +84,14 @@ class Aggregator {
     if (s.chunk == nullptr) return;
     const auto bytes = static_cast<std::size_t>(s.cur - s.chunk->raw());
     if (bytes == 0) return;
-    s.chunk->set_size(bytes);
-    comm_.send_filled(dest, s.chunk, bytes / sizeof(T));
-    s = Slot{};  // ownership moved to the receiver; reacquire lazily
+    Chunk* chunk = s.chunk;
+    // Clear the slot before handing the chunk over: ownership transfers to
+    // the transport at the send_filled call whether or not it throws (a
+    // send interrupted by an abort still disposes of the chunk), so the
+    // destructor must never see this pointer again.
+    s = Slot{};
+    chunk->set_size(bytes);
+    comm_.send_filled(dest, chunk, bytes / sizeof(T));
   }
 
   /// Sends every non-empty buffer. Must be called before the phase's

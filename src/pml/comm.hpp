@@ -2,13 +2,13 @@
 //
 // This is the reproduction's substitute for the custom BlueGene/Q / P7-IH
 // messaging runtime the paper builds on (refs [27]-[29]). Each *rank* is a
-// thread; ranks share no algorithm state and communicate only through this
-// API, so the Louvain code above it is structured exactly like a
-// distributed-memory port:
+// thread or a process — chosen by TransportKind — and ranks share no
+// algorithm state, communicating only through this API, so the Louvain
+// code above it is structured exactly like a distributed-memory port:
 //
 //   * collectives  — barrier, allreduce, allgather, alltoallv `exchange`,
 //     all deterministic (combine in rank order) so fixed seeds give
-//     bit-identical runs;
+//     bit-identical runs on every transport;
 //   * fine-grained — `send_chunk`/`poll` with per-destination coalescing
 //     (see aggregator.hpp) plus a counted-termination quiescence protocol,
 //     matching the paper's active-message style state propagation;
@@ -16,132 +16,111 @@
 //     benches to report communication volume where the 1-core container
 //     gates wall-clock speedup.
 //
+// Comm implements all of that ONCE over the Transport primitive set
+// (transport.hpp): a synchronizing rank-ordered alltoallv, FIFO chunk
+// lanes, a blocking incoming wait, and an abort flag. The protocol logic
+// below is therefore transport-agnostic; backends only move bytes.
+//
 // Quiescence protocol (counted termination, zero collective rounds):
 // every fine-grained phase has an epoch number, and every Comm tracks how
 // many records it sent to each peer during the current epoch. Entering
-// `drain_until_quiescent`, a rank pushes one *control marker* per peer
-// (through the same mailboxes as data) carrying that per-destination count,
-// then polls — parking in Mailbox::wait_nonempty rather than spinning —
-// until it has seen all nranks markers. Because mailbox delivery is FIFO
-// per producer, a sender's data always precedes its marker, so "all
+// `drain_until_quiescent`, a rank sends one *control marker* per peer
+// (through the same FIFO lanes as data) carrying that per-destination
+// count, then polls — parking in Transport::wait_incoming rather than
+// spinning — until it has seen all nranks markers. Because delivery is
+// FIFO per producer, a sender's data always precedes its marker, so "all
 // markers seen" implies "all records delivered"; the received total is
-// asserted against the marker counts in debug builds. No barrier or
-// allreduce is involved: ranks leave the phase independently, and chunks
-// from a neighbour that has already raced into the next epoch are deferred
+// asserted against the marker counts in debug builds (and in Release when
+// PLV_PARANOID=1, as a thrown error). No barrier or allreduce is
+// involved: ranks leave the phase independently, and chunks from a
+// neighbour that has already raced into the next epoch are deferred
 // (never mis-delivered) until this rank's epoch catches up. Phase skew
 // cannot exceed one epoch, since leaving epoch E requires every peer's
 // epoch-E marker.
 //
 // Fail-fast semantics: a rank whose body throws records its exception,
-// raises the runtime-wide abort flag, wakes every blocked mailbox waiter,
-// and *drops* from the barrier (`arrive_and_drop`) instead of stranding
-// peers mid-collective. Every collective checks the flag on entry and
-// again after each barrier wait (before touching peer slots), throwing
-// AbortedError; waiting polls recheck it on wakeup. The first real
-// exception is rethrown from Runtime::run after all ranks have unwound —
-// a throwing rank therefore terminates the whole run promptly instead of
-// deadlocking it.
+// raises the transport-wide abort flag, and wakes every blocked peer.
+// Every collective checks the flag before and after its rendezvous,
+// throwing AbortedError; waiting polls recheck it on wakeup. The first
+// real exception is rethrown from Runtime::run after all ranks have
+// unwound — a throwing rank therefore terminates the whole run promptly
+// instead of deadlocking it. (On the process backend, exception types
+// survive only for rank 0, which runs in the calling process; child
+// failures surface as RemoteRankError carrying the original text.)
 //
-// SPMD typing convention: all ranks participating in a collective pass the
-// same T. This mirrors MPI's untyped buffers and is asserted in debug
-// builds via a per-collective type tag.
+// SPMD typing convention: all ranks participating in a collective pass
+// the same T, mirroring MPI's untyped buffers.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
-#include <barrier>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/traffic.hpp"
 #include "pml/mailbox.hpp"
+#include "pml/transport.hpp"
+#include "pml/transport_proc.hpp"
+#include "pml/transport_thread.hpp"
 
 namespace plv::pml {
 
-/// Thrown out of collectives and blocking polls on every surviving rank
-/// once a peer has failed. Rank bodies normally let it propagate; the
-/// Runtime swallows it and rethrows the originating rank's exception.
-struct AbortedError : std::runtime_error {
-  AbortedError() : std::runtime_error("pml: peer rank failed; run aborted") {}
-};
-
-/// Cumulative communication counters for one rank. Control markers (the
-/// quiescence protocol's overhead) are not counted: stats describe payload
-/// traffic only.
-struct TrafficStats {
-  std::uint64_t records_sent{0};
-  std::uint64_t records_received{0};
-  std::uint64_t bytes_sent{0};
-  std::uint64_t chunks_sent{0};
-  std::uint64_t collectives{0};
-
-  TrafficStats& operator+=(const TrafficStats& o) noexcept {
-    records_sent += o.records_sent;
-    records_received += o.records_received;
-    bytes_sent += o.bytes_sent;
-    chunks_sent += o.chunks_sent;
-    collectives += o.collectives;
-    return *this;
-  }
-};
+using plv::TrafficStats;
 
 namespace detail {
 
-/// State shared by all ranks of one Runtime.
-struct RuntimeState {
-  explicit RuntimeState(int nranks)
-      : nranks(nranks),
-        barrier(nranks),
-        slots(static_cast<std::size_t>(nranks), nullptr),
-        mailboxes(static_cast<std::size_t>(nranks)),
-        pools(static_cast<std::size_t>(nranks)) {}
-
-  int nranks;
-  std::barrier<> barrier;
-  std::vector<const void*> slots;  // per-rank pointer for collectives
-  std::vector<Mailbox> mailboxes;  // fine-grained receive queues
-  std::vector<ChunkPool> pools;    // per-rank free lists; touched only by owner
-  std::atomic<bool> aborted{false};
-
-  /// Raises the abort flag and wakes every rank parked in a mailbox wait.
-  void abort() noexcept {
-    aborted.store(true, std::memory_order_seq_cst);
-    for (auto& mb : mailboxes) mb.interrupt();
-  }
-};
+/// PLV_PARANOID=1 promotes the quiescence record-count invariant from a
+/// debug assert to a thrown error in Release builds, so transport bugs
+/// surface outside Debug CI. Read once; flipping the env mid-run is not a
+/// supported use.
+[[nodiscard]] inline bool paranoid_checks_enabled() noexcept {
+  static const bool enabled = [] {
+    const char* env = std::getenv("PLV_PARANOID");
+    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+  }();
+  return enabled;
+}
 
 }  // namespace detail
 
 /// Per-rank communicator handle. All methods must be called from the
-/// owning rank's thread only (there is no remote access; senders go
-/// through the target's mailbox, which is thread-safe). Non-copyable: it
-/// owns per-phase protocol state and any chunks deferred across epochs.
+/// owning rank only (there is no remote access; senders go through the
+/// transport, which is safe across ranks). Non-copyable: it owns
+/// per-phase protocol state and any chunks deferred across epochs.
 class Comm {
  public:
-  Comm(detail::RuntimeState* state, int rank) noexcept
-      : state_(state),
-        rank_(rank),
-        phase_sent_(static_cast<std::size_t>(state->nranks), 0) {}
+  explicit Comm(Transport& transport)
+      : transport_(&transport),
+        rank_(transport.rank()),
+        phase_sent_(static_cast<std::size_t>(transport.nranks()), 0) {}
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
 
   ~Comm() {
-    for (Chunk* c : deferred_) pool().release(c);
+    for (Chunk* c : deferred_) transport_->release_chunk(c);
   }
 
   [[nodiscard]] int rank() const noexcept { return rank_; }
-  [[nodiscard]] int nranks() const noexcept { return state_->nranks; }
+  [[nodiscard]] int nranks() const noexcept { return transport_->nranks(); }
+
+  /// Name of the backend carrying this run ("thread", "proc").
+  [[nodiscard]] const char* transport_name() const noexcept {
+    return transport_->name();
+  }
 
   void barrier() {
     ++stats_.collectives;
-    sync();
+    transport_->barrier();
   }
 
   // ---------------------------------------------------------------------
@@ -156,11 +135,21 @@ class Comm {
   template <typename T, typename Op>
   [[nodiscard]] T allreduce(const T& value, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
-    publish(&value);
-    T acc = *source_ptr<T>(0);
-    for (int r = 1; r < nranks(); ++r) acc = op(acc, *source_ptr<T>(r));
-    retire();
-    return acc;
+    ++stats_.collectives;
+    broadcast_spans(value_bytes(value));
+    struct Sink final : CollectiveSink {
+      void deliver(int source, std::span<const std::byte> bytes) override {
+        assert(bytes.size() == sizeof(T));
+        T v;
+        std::memcpy(&v, bytes.data(), sizeof(T));
+        acc = source == 0 ? v : (*op)(acc, v);
+      }
+      T acc{};
+      Op* op{nullptr};
+    } sink;
+    sink.op = &op;
+    transport_->alltoallv(spans_, sink);
+    return sink.acc;
   }
 
   template <typename T>
@@ -183,41 +172,55 @@ class Comm {
   template <typename T>
   void allreduce_vec_sum(std::vector<T>& vec) {
     static_assert(std::is_trivially_copyable_v<T>);
-    publish(&vec);
-    std::vector<T> acc(vec.size(), T{});
-    for (int r = 0; r < nranks(); ++r) {
-      const auto& src = *source_ptr<std::vector<T>>(r);
-      assert(src.size() == vec.size());
-      for (std::size_t i = 0; i < vec.size(); ++i) acc[i] += src[i];
-    }
-    retire();           // all ranks have finished reading
-    vec = std::move(acc);
-    barrier();          // no rank reuses `vec` before all writes land
+    ++stats_.collectives;
+    broadcast_spans(vector_bytes(vec));
+    struct Sink final : CollectiveSink {
+      void deliver(int /*source*/, std::span<const std::byte> bytes) override {
+        assert(bytes.size() == acc.size() * sizeof(T));
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          T v;
+          std::memcpy(&v, bytes.data() + i * sizeof(T), sizeof(T));
+          acc[i] += v;
+        }
+      }
+      std::vector<T> acc;
+    } sink;
+    sink.acc.assign(vec.size(), T{});
+    transport_->alltoallv(spans_, sink);
+    // alltoallv returns only after every rank finished reading the
+    // published spans, so rewriting vec here is race-free.
+    vec = std::move(sink.acc);
   }
 
   /// Gathers one value per rank, indexed by rank.
   template <typename T>
   [[nodiscard]] std::vector<T> allgather(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    publish(&value);
-    std::vector<T> out;
-    out.reserve(static_cast<std::size_t>(nranks()));
-    for (int r = 0; r < nranks(); ++r) out.push_back(*source_ptr<T>(r));
-    retire();
-    return out;
+    ++stats_.collectives;
+    broadcast_spans(value_bytes(value));
+    struct Sink final : CollectiveSink {
+      void deliver(int /*source*/, std::span<const std::byte> bytes) override {
+        assert(bytes.size() == sizeof(T));
+        T v;
+        std::memcpy(&v, bytes.data(), sizeof(T));
+        out.push_back(v);
+      }
+      std::vector<T> out;
+    } sink;
+    sink.out.reserve(static_cast<std::size_t>(nranks()));
+    transport_->alltoallv(spans_, sink);
+    return std::move(sink.out);
   }
 
   /// Concatenates per-rank vectors, in rank order.
   template <typename T>
   [[nodiscard]] std::vector<T> allgatherv(const std::vector<T>& mine) {
-    publish(&mine);
-    std::vector<T> out;
-    for (int r = 0; r < nranks(); ++r) {
-      const auto& src = *source_ptr<std::vector<T>>(r);
-      out.insert(out.end(), src.begin(), src.end());
-    }
-    retire();
-    return out;
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats_.collectives;
+    broadcast_spans(vector_bytes(mine));
+    AppendSink<T> sink;
+    transport_->alltoallv(spans_, sink);
+    return std::move(sink.out);
   }
 
   /// All-to-all variable exchange: `outgoing[d]` goes to rank d; returns
@@ -228,24 +231,17 @@ class Comm {
   [[nodiscard]] std::vector<T> exchange(const std::vector<std::vector<T>>& outgoing) {
     static_assert(std::is_trivially_copyable_v<T>);
     assert(static_cast<int>(outgoing.size()) == nranks());
+    ++stats_.collectives;
+    spans_.clear();
     for (const auto& dest : outgoing) {
       stats_.records_sent += dest.size();
       stats_.bytes_sent += dest.size() * sizeof(T);
+      spans_.push_back(vector_bytes(dest));
     }
-    publish(&outgoing);
-    std::vector<T> incoming;
-    std::size_t total = 0;
-    for (int r = 0; r < nranks(); ++r) {
-      total += (*source_ptr<std::vector<std::vector<T>>>(r))[me()].size();
-    }
-    incoming.reserve(total);
-    for (int r = 0; r < nranks(); ++r) {
-      const auto& src = (*source_ptr<std::vector<std::vector<T>>>(r))[me()];
-      incoming.insert(incoming.end(), src.begin(), src.end());
-    }
-    stats_.records_received += incoming.size();
-    retire();
-    return incoming;
+    AppendSink<T> sink;
+    transport_->alltoallv(spans_, sink);
+    stats_.records_received += sink.out.size();
+    return std::move(sink.out);
   }
 
   /// Like exchange(), but keeps arrivals grouped by source rank:
@@ -257,41 +253,47 @@ class Comm {
       const std::vector<std::vector<T>>& outgoing) {
     static_assert(std::is_trivially_copyable_v<T>);
     assert(static_cast<int>(outgoing.size()) == nranks());
+    ++stats_.collectives;
+    spans_.clear();
     for (const auto& dest : outgoing) {
       stats_.records_sent += dest.size();
       stats_.bytes_sent += dest.size() * sizeof(T);
+      spans_.push_back(vector_bytes(dest));
     }
-    publish(&outgoing);
-    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(nranks()));
-    for (int r = 0; r < nranks(); ++r) {
-      incoming[static_cast<std::size_t>(r)] =
-          (*source_ptr<std::vector<std::vector<T>>>(r))[me()];
-      stats_.records_received += incoming[static_cast<std::size_t>(r)].size();
-    }
-    retire();
-    return incoming;
+    struct Sink final : CollectiveSink {
+      void deliver(int source, std::span<const std::byte> bytes) override {
+        auto& dst = incoming[static_cast<std::size_t>(source)];
+        dst.resize(bytes.size() / sizeof(T));
+        std::memcpy(dst.data(), bytes.data(), bytes.size());
+      }
+      std::vector<std::vector<T>> incoming;
+    } sink;
+    sink.incoming.resize(static_cast<std::size_t>(nranks()));
+    transport_->alltoallv(spans_, sink);
+    for (const auto& src : sink.incoming) stats_.records_received += src.size();
+    return std::move(sink.incoming);
   }
 
   // ---------------------------------------------------------------------
   // Fine-grained messaging (active-message style). Senders usually go
   // through Aggregator (aggregator.hpp), which coalesces records straight
   // into pooled chunks and hands them over with send_filled — the
-  // zero-copy path. send_chunk is the copy-once path for callers holding
-  // a raw array.
+  // zero-copy path on the thread backend. send_chunk is the copy-once
+  // path for callers holding a raw array.
   // ---------------------------------------------------------------------
 
-  /// Takes a recycled chunk from the runtime pool with at least `bytes`
+  /// Takes a recycled chunk from the rank's pool with at least `bytes`
   /// of capacity. Pair with send_filled() or release_chunk().
   [[nodiscard]] Chunk* acquire_chunk(std::size_t bytes) {
-    return pool().acquire(bytes);
+    return transport_->acquire_chunk(bytes);
   }
 
   /// Returns an acquired-but-unsent chunk to the pool.
-  void release_chunk(Chunk* chunk) { pool().release(chunk); }
+  void release_chunk(Chunk* chunk) { transport_->release_chunk(chunk); }
 
-  /// Hands a filled chunk of `count` records to rank `dest`'s mailbox.
-  /// Zero-copy: ownership of the node transfers to the receiver, which
-  /// releases it back to the shared pool after processing.
+  /// Hands a filled chunk of `count` records to rank `dest`. Ownership of
+  /// the node transfers to the transport (zero-copy on threads: the
+  /// receiver releases the same node back to the shared pool).
   void send_filled(int dest, Chunk* chunk, std::size_t count) {
     assert(dest >= 0 && dest < nranks());
     assert(chunk != nullptr && !chunk->control);
@@ -301,12 +303,12 @@ class Comm {
     stats_.records_sent += count;
     stats_.bytes_sent += chunk->size();
     ++stats_.chunks_sent;
-    state_->mailboxes[static_cast<std::size_t>(dest)].push(chunk);
+    transport_->send(dest, chunk);
   }
 
-  /// Copies `count` records of `record_size` bytes into a pooled chunk and
-  /// deposits it into rank `dest`'s mailbox (one copy, no allocation in
-  /// steady state).
+  /// Copies `count` records of `record_size` bytes into a pooled chunk
+  /// and sends it to rank `dest` (one copy, no allocation in steady
+  /// state).
   void send_chunk(int dest, const void* data, std::size_t record_size, std::size_t count) {
     assert(dest >= 0 && dest < nranks());
     Chunk* chunk = acquire_chunk(record_size * count);
@@ -314,10 +316,10 @@ class Comm {
     send_filled(dest, chunk, count);
   }
 
-  /// Drains the mailbox, invoking `handler(source, span<const T>)` per chunk.
-  /// Returns the number of records delivered. Chunks belonging to a later
-  /// epoch (a neighbour already past this phase's drain) are set aside and
-  /// delivered by the first poll of the matching epoch.
+  /// Drains incoming chunks, invoking `handler(source, span<const T>)` per
+  /// chunk. Returns the number of records delivered. Chunks belonging to
+  /// a later epoch (a neighbour already past this phase's drain) are set
+  /// aside and delivered by the first poll of the matching epoch.
   template <typename T, typename Handler>
   std::size_t poll(Handler&& handler) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -334,7 +336,7 @@ class Comm {
       }
       deferred_.resize(kept);
     }
-    state_->mailboxes[me()].drain(scratch_);
+    transport_->drain(scratch_);
     std::size_t records = 0;
     for (std::size_t i = 0; i < scratch_.size(); ++i) {
       Chunk* c = scratch_[i];
@@ -346,7 +348,7 @@ class Comm {
       if (c->control) {
         ++markers_seen_;
         expected_records_ += c->control_records;
-        pool().release(c);
+        transport_->release_chunk(c);
         continue;
       }
       assert(c->size() % sizeof(T) == 0);
@@ -358,7 +360,7 @@ class Comm {
         // Recycle this and every unprocessed chunk before unwinding.
         for (std::size_t j = i; j < scratch_.size(); ++j) {
           if (scratch_[j]->epoch == epoch_) {
-            pool().release(scratch_[j]);
+            transport_->release_chunk(scratch_[j]);
           } else {
             deferred_.push_back(scratch_[j]);
           }
@@ -366,7 +368,7 @@ class Comm {
         throw;
       }
       records += n;
-      pool().release(c);
+      transport_->release_chunk(c);
     }
     phase_received_ += records;
     stats_.records_received += records;
@@ -384,23 +386,30 @@ class Comm {
     // Announce end-of-phase to every rank (self included): one control
     // marker carrying the number of records this rank sent them.
     for (int d = 0; d < nranks(); ++d) {
-      Chunk* marker = pool().acquire(0);
+      Chunk* marker = transport_->acquire_chunk(0);
       marker->source = rank_;
       marker->epoch = epoch_;
       marker->control = true;
       marker->control_records = phase_sent_[static_cast<std::size_t>(d)];
-      state_->mailboxes[static_cast<std::size_t>(d)].push(marker);
+      transport_->send(d, marker);
     }
     poll<T>(handler);
     while (markers_seen_ < static_cast<std::uint64_t>(nranks())) {
-      state_->mailboxes[me()].wait_nonempty(
-          [this] { return state_->aborted.load(std::memory_order_seq_cst); });
+      transport_->wait_incoming();
       check_abort();
       poll<T>(handler);
     }
     // FIFO-per-producer delivery means data precedes markers, so seeing
-    // every marker implies having every record.
+    // every marker implies having every record. Checked always in Debug;
+    // in Release only under PLV_PARANOID=1 (transport soak runs).
     assert(phase_received_ == expected_records_);
+    if (phase_received_ != expected_records_ && detail::paranoid_checks_enabled()) {
+      throw std::runtime_error(
+          "pml: quiescence record-count mismatch on rank " + std::to_string(rank_) +
+          ": received " + std::to_string(phase_received_) + ", markers promised " +
+          std::to_string(expected_records_) + " (epoch " + std::to_string(epoch_) +
+          ", transport " + transport_->name() + ")");
+    }
     ++epoch_;
     markers_seen_ = 0;
     expected_records_ = 0;
@@ -408,60 +417,59 @@ class Comm {
     std::fill(phase_sent_.begin(), phase_sent_.end(), 0);
     // Phase boundary: shed free-list nodes beyond the high-water mark so a
     // receive-heavy rank does not retain its peak footprint forever.
-    pool().trim();
+    transport_->trim_pool();
   }
 
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = TrafficStats{}; }
 
-  /// High-water mark (in chunk nodes) for this rank's free list; trimmed at
-  /// each fine-grained phase boundary. 0 = unbounded (never trim).
+  /// High-water mark (in chunk nodes) for this rank's free list; trimmed
+  /// at each fine-grained phase boundary. 0 = unbounded (never trim).
   void set_chunk_pool_watermark(std::size_t nodes) noexcept {
-    pool().set_watermark(nodes);
+    transport_->set_pool_watermark(nodes);
   }
   [[nodiscard]] std::size_t chunk_pool_free_count() const noexcept {
-    return state_->pools[me()].free_count();
+    return transport_->pool_free_count();
   }
 
  private:
-  [[nodiscard]] std::size_t me() const noexcept { return static_cast<std::size_t>(rank_); }
+  template <typename T>
+  [[nodiscard]] static std::span<const std::byte> value_bytes(const T& v) noexcept {
+    return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+  }
+  template <typename T>
+  [[nodiscard]] static std::span<const std::byte> vector_bytes(
+      const std::vector<T>& v) noexcept {
+    return {reinterpret_cast<const std::byte*>(v.data()), v.size() * sizeof(T)};
+  }
 
-  /// This rank's chunk free list. Single-thread owned: the send path
-  /// acquires here, the poll path releases drained (possibly foreign-born)
-  /// nodes here, and nobody else ever touches it.
-  [[nodiscard]] ChunkPool& pool() noexcept { return state_->pools[me()]; }
+  /// Reusable sink that concatenates arrivals (rank order) into one
+  /// typed vector, reserving exactly from the transport's size hint.
+  template <typename T>
+  struct AppendSink final : CollectiveSink {
+    void total_hint(std::size_t bytes) override { out.reserve(bytes / sizeof(T)); }
+    void deliver(int /*source*/, std::span<const std::byte> bytes) override {
+      assert(bytes.size() % sizeof(T) == 0);
+      const std::size_t old = out.size();
+      out.resize(old + bytes.size() / sizeof(T));
+      std::memcpy(out.data() + old, bytes.data(), bytes.size());
+    }
+    std::vector<T> out;
+  };
+
+  /// The same payload for every destination (allreduce/allgather shape).
+  void broadcast_spans(std::span<const std::byte> payload) {
+    spans_.assign(static_cast<std::size_t>(nranks()), payload);
+  }
 
   void check_abort() const {
-    if (state_->aborted.load(std::memory_order_seq_cst)) throw AbortedError();
+    if (transport_->aborted()) throw AbortedError();
   }
 
-  /// One barrier phase with abort checks on both sides: never arrive when
-  /// the run is already dead, and never touch peer state after waking
-  /// without confirming every peer made it here too.
-  void sync() {
-    check_abort();
-    state_->barrier.arrive_and_wait();
-    check_abort();
-  }
-
-  void publish(const void* ptr) {
-    state_->slots[me()] = ptr;
-    ++stats_.collectives;
-    sync();  // all pointers visible
-  }
-
-  template <typename T>
-  [[nodiscard]] const T* source_ptr(int r) const noexcept {
-    return static_cast<const T*>(state_->slots[static_cast<std::size_t>(r)]);
-  }
-
-  void retire() {
-    sync();  // all ranks done reading
-  }
-
-  detail::RuntimeState* state_;
+  Transport* transport_;
   int rank_;
   TrafficStats stats_;
+  std::vector<std::span<const std::byte>> spans_;  // per-collective scratch
 
   // Counted-termination bookkeeping for the current fine-grained phase.
   std::uint64_t epoch_{0};
@@ -473,27 +481,43 @@ class Comm {
   std::vector<Chunk*> scratch_;            // drain buffer, reused across polls
 };
 
-/// Spawns `nranks` rank threads running `body(Comm&)` and joins them.
-/// Fail-fast: the first rank to throw stores its exception, flips the
-/// shared abort flag, wakes all mailbox waiters, and drops out of the
-/// barrier, so every peer's next (or current) collective throws
-/// AbortedError instead of hanging. Peers unwound by AbortedError are not
-/// treated as failures of their own; after all threads join, the original
-/// exception is rethrown on the caller. Every rank — normal or failed —
-/// leaves the barrier with arrive_and_drop on exit, so stragglers can
-/// never block on a rank that has already finished.
+/// Runs `body(Comm&)` on `nranks` ranks over the chosen transport and
+/// joins them. Fail-fast: the first rank to throw stores its exception,
+/// flips the shared abort flag, and wakes all waiters, so every peer's
+/// next (or current) collective throws AbortedError instead of hanging.
+/// Peers unwound by AbortedError are not treated as failures of their
+/// own; after all ranks finish, the original exception is rethrown on the
+/// caller (child-process failures as RemoteRankError).
 class Runtime {
  public:
+  /// Default entry: thread backend unless PLV_TRANSPORT overrides.
   static void run(int nranks, const std::function<void(Comm&)>& body) {
+    run(nranks, body, resolve_transport(TransportKind::kThread));
+  }
+
+  /// Explicit-backend entry (no environment resolution — callers that
+  /// honor PLV_TRANSPORT apply resolve_transport() themselves).
+  static void run(int nranks, const std::function<void(Comm&)>& body,
+                  TransportKind kind) {
     if (nranks <= 0) throw std::invalid_argument("Runtime: nranks must be positive");
-    detail::RuntimeState state(nranks);
+    if (kind == TransportKind::kProc) {
+      detail::run_proc_ranks(nranks, body);
+      return;
+    }
+    run_threads(nranks, body);
+  }
+
+ private:
+  static void run_threads(int nranks, const std::function<void(Comm&)>& body) {
+    detail::ThreadShared state(nranks);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nranks));
     std::exception_ptr first_error;
     std::mutex error_mutex;
     for (int r = 0; r < nranks; ++r) {
       threads.emplace_back([&state, &body, &first_error, &error_mutex, r] {
-        Comm comm(&state, r);
+        ThreadTransport transport(&state, r);
+        Comm comm(transport);
         bool failed = false;
         try {
           body(comm);
@@ -507,6 +531,8 @@ class Runtime {
           failed = true;
         }
         if (failed) state.abort();
+        // Leave the barrier permanently so stragglers can never block on
+        // a rank that has already finished.
         state.barrier.arrive_and_drop();
       });
     }

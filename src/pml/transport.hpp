@@ -1,0 +1,158 @@
+// The transport seam of the messaging layer.
+//
+// Comm (comm.hpp) implements the whole public pml API — collectives,
+// fine-grained sends, counted-termination quiescence, fail-fast abort —
+// once, over the small primitive set below. A Transport binds those
+// primitives to a concrete rank substrate:
+//
+//   ThreadTransport (transport_thread.hpp) — rank = thread. The default.
+//     Collectives publish span pointers through shared slots (zero
+//     serialization), fine-grained sends hand pooled chunk pointers to the
+//     destination's mailbox (zero copy).
+//   ProcessTransport (transport_proc.cpp) — rank = forked process.
+//     Everything crosses Unix-domain stream sockets as length-prefixed
+//     frames; collectives are serialized and recombined in rank order so
+//     results stay bit-identical with the thread backend.
+//
+// Contract highlights every backend must honor:
+//   * alltoallv() is synchronizing and delivers peer payloads to the sink
+//     in ascending source-rank order — the determinism guarantee all
+//     rank-order reductions build on.
+//   * send() preserves per-(source, destination) FIFO order, and a chunk
+//     handed to send() is owned by the transport afterwards. The
+//     quiescence protocol depends on data preceding its end-of-phase
+//     marker on each lane.
+//   * barrier()/alltoallv()/wait_incoming() are abort points: once any
+//     rank raises the abort flag they wake and (the collectives) throw
+//     AbortedError instead of waiting on a dead peer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plv::pml {
+
+class Chunk;  // mailbox.hpp
+
+/// Thrown out of collectives and blocking polls on every surviving rank
+/// once a peer has failed. Rank bodies normally let it propagate; the
+/// Runtime swallows it and rethrows the originating rank's exception.
+struct AbortedError : std::runtime_error {
+  AbortedError() : std::runtime_error("pml: peer rank failed; run aborted") {}
+};
+
+/// Failure of a rank running in another process. Exception *types* cannot
+/// cross a process boundary, so the process backend re-raises non-rank-0
+/// failures as this wrapper carrying the originating rank and the original
+/// what() text. (Rank 0 runs in the calling process and keeps its type.)
+struct RemoteRankError : std::runtime_error {
+  RemoteRankError(int failed_rank, const std::string& message)
+      : std::runtime_error("pml: rank " + std::to_string(failed_rank) +
+                           " failed: " + message),
+        rank(failed_rank) {}
+  int rank;
+};
+
+/// Receiver side of a collective: the transport calls deliver() exactly
+/// once per source rank, in ascending rank order, with that rank's payload
+/// for this rank. total_hint() (optional to act on) arrives first with the
+/// summed payload size, so sinks can reserve exactly.
+class CollectiveSink {
+ public:
+  virtual ~CollectiveSink() = default;
+  virtual void total_hint(std::size_t /*bytes*/) {}
+  virtual void deliver(int source, std::span<const std::byte> bytes) = 0;
+};
+
+/// The primitive set Comm is written against. All methods are called from
+/// the owning rank only; thread-safety across ranks is the backend's
+/// problem (mailbox CAS for threads, sockets for processes).
+class Transport {
+ public:
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual int rank() const noexcept = 0;
+  [[nodiscard]] virtual int nranks() const noexcept = 0;
+
+  // -- Collective plane ---------------------------------------------------
+  /// Synchronizing rendezvous; throws AbortedError if the run is aborted.
+  virtual void barrier() = 0;
+
+  /// `outgoing` has nranks() entries; outgoing[d] is this rank's payload
+  /// for rank d (spans must stay valid and unmodified until return).
+  /// Delivers every peer's payload for this rank via `sink`, ascending by
+  /// source rank. Synchronizing; throws AbortedError on abort.
+  virtual void alltoallv(std::span<const std::span<const std::byte>> outgoing,
+                         CollectiveSink& sink) = 0;
+
+  // -- Fine-grained plane -------------------------------------------------
+  /// Chunk nodes come from this rank's pool; see mailbox.hpp for the
+  /// zero-copy recycling discipline.
+  [[nodiscard]] virtual Chunk* acquire_chunk(std::size_t reserve_bytes) = 0;
+  virtual void release_chunk(Chunk* chunk) noexcept = 0;
+
+  /// Queues `chunk` for delivery to rank `dest` (FIFO per source-dest
+  /// pair; self-sends allowed). Ownership transfers to the transport at
+  /// the call — including when the send throws (an aborted send disposes
+  /// of the chunk); callers must drop their pointer first.
+  virtual void send(int dest, Chunk* chunk) = 0;
+
+  /// Takes every chunk currently deliverable to this rank, appending to
+  /// `out` (ownership transfers to the caller). Non-blocking.
+  virtual std::size_t drain(std::vector<Chunk*>& out) = 0;
+
+  /// Blocks until drain() would return something or the run is aborted.
+  virtual void wait_incoming() = 0;
+
+  // -- Abort plane --------------------------------------------------------
+  virtual void raise_abort() noexcept = 0;
+  [[nodiscard]] virtual bool aborted() const noexcept = 0;
+
+  // -- Chunk-pool controls (phase-boundary hygiene) -----------------------
+  virtual void set_pool_watermark(std::size_t nodes) noexcept = 0;
+  virtual void trim_pool() noexcept = 0;
+  [[nodiscard]] virtual std::size_t pool_free_count() const noexcept = 0;
+};
+
+/// Backend selector, settable per run (core::ParOptions::transport, CLI
+/// --transport) and overridable globally via the PLV_TRANSPORT environment
+/// variable (resolve_transport).
+enum class TransportKind {
+  kThread,  ///< thread-per-rank, shared memory (default)
+  kProc,    ///< process-per-rank over Unix-domain sockets
+};
+
+[[nodiscard]] inline const char* transport_kind_name(TransportKind kind) noexcept {
+  return kind == TransportKind::kProc ? "proc" : "thread";
+}
+
+[[nodiscard]] inline TransportKind parse_transport_kind(std::string_view text) {
+  if (text == "thread" || text == "threads") return TransportKind::kThread;
+  if (text == "proc" || text == "process" || text == "processes") {
+    return TransportKind::kProc;
+  }
+  throw std::invalid_argument("pml: unknown transport '" + std::string(text) +
+                              "' (valid: thread, proc)");
+}
+
+/// Applies the PLV_TRANSPORT environment override (if set and non-empty)
+/// on top of the configured `requested` backend. The env wins so a whole
+/// test binary or bench can be re-run over another transport without
+/// touching every call site (the CI proc leg does exactly that).
+[[nodiscard]] inline TransportKind resolve_transport(TransportKind requested) {
+  const char* env = std::getenv("PLV_TRANSPORT");
+  if (env != nullptr && *env != '\0') return parse_transport_kind(env);
+  return requested;
+}
+
+}  // namespace plv::pml

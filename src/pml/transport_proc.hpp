@@ -1,0 +1,25 @@
+// Process-per-rank launcher (implementation in transport_proc.cpp).
+//
+// Declared separately so comm.hpp can dispatch Runtime::run to the socket
+// backend without pulling the POSIX machinery into every translation unit.
+#pragma once
+
+#include <functional>
+
+namespace plv::pml {
+
+class Comm;
+
+namespace detail {
+
+/// Forks nranks-1 child processes (rank 0 runs in the caller, so rank-0
+/// result capture into caller-scope variables keeps working) connected by
+/// a full mesh of Unix-domain stream sockets, runs `body` on every rank,
+/// and harvests the children. Fail-fast mirrors the thread backend: the
+/// first failing rank aborts the fleet; its error text (and, for rank 0,
+/// its exception type) is re-raised on the caller — as RemoteRankError
+/// when the failure happened in a child.
+void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace detail
+}  // namespace plv::pml

@@ -1,0 +1,136 @@
+// ParOptions::validate() — every core entry point calls it before any
+// rank is spawned, so inconsistent knob combinations must fail on the
+// caller with a message naming the offending field.
+#include "core/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/louvain_par.hpp"
+#include "graph/edge_list.hpp"
+
+namespace plv::core {
+namespace {
+
+/// Expects validate() to throw std::invalid_argument mentioning `field`.
+void expect_rejected(const ParOptions& opts, const std::string& field) {
+  try {
+    opts.validate();
+    FAIL() << "expected rejection mentioning \"" << field << "\"";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ParOptions"), std::string::npos) << what;
+    EXPECT_NE(what.find(field), std::string::npos) << what;
+  }
+}
+
+TEST(OptionsValidate, DefaultsAreValid) {
+  EXPECT_NO_THROW(ParOptions{}.validate());
+}
+
+TEST(OptionsValidate, RejectsNonPositiveRankCount) {
+  ParOptions opts;
+  opts.nranks = 0;
+  expect_rejected(opts, "nranks");
+  opts.nranks = -4;
+  expect_rejected(opts, "nranks");
+}
+
+TEST(OptionsValidate, RejectsNegativeOrNanTolerance) {
+  ParOptions opts;
+  opts.q_tolerance = -1e-9;
+  expect_rejected(opts, "q_tolerance");
+  opts.q_tolerance = std::nan("");
+  expect_rejected(opts, "q_tolerance");
+}
+
+TEST(OptionsValidate, RejectsDegenerateIterationLimits) {
+  ParOptions opts;
+  opts.max_inner_iterations = 0;
+  expect_rejected(opts, "max_inner_iterations");
+  opts = ParOptions{};
+  opts.max_levels = 0;
+  expect_rejected(opts, "max_levels");
+  opts = ParOptions{};
+  opts.stagnation_window = 0;
+  expect_rejected(opts, "stagnation_window");
+  opts = ParOptions{};
+  opts.gain_histogram_bins = 0;
+  expect_rejected(opts, "gain_histogram_bins");
+}
+
+TEST(OptionsValidate, RejectsNonPositiveHeuristicParams) {
+  ParOptions opts;
+  opts.p1 = 0.0;
+  expect_rejected(opts, "p1");
+  opts = ParOptions{};
+  opts.p2 = -0.3;
+  expect_rejected(opts, "p2");
+  // ...but with the heuristic off, p1/p2 are unused and unchecked.
+  opts = ParOptions{};
+  opts.threshold = ThresholdModel::kNone;
+  opts.p1 = 0.0;
+  opts.p2 = 0.0;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsOutOfRangeTableLoad) {
+  ParOptions opts;
+  opts.table_max_load = 0.0;
+  expect_rejected(opts, "table_max_load");
+  opts.table_max_load = 1.5;
+  expect_rejected(opts, "table_max_load");
+  opts.table_max_load = 1.0;  // boundary is allowed
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsOverflowingAggregatorCapacity) {
+  ParOptions opts;
+  opts.aggregator_capacity = std::numeric_limits<std::size_t>::max();
+  expect_rejected(opts, "aggregator_capacity");
+  opts.aggregator_capacity = kAutoAggregatorCapacity;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsNegativeRebuildCadence) {
+  ParOptions opts;
+  opts.full_rebuild_every = -1;
+  expect_rejected(opts, "full_rebuild_every");
+  opts.full_rebuild_every = kNeverRebuild;
+  EXPECT_NO_THROW(opts.validate());
+  opts.full_rebuild_every = kRebuildEveryIteration;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsNonFiniteResolution) {
+  ParOptions opts;
+  opts.resolution = 0.0;
+  expect_rejected(opts, "resolution");
+  opts.resolution = std::numeric_limits<double>::infinity();
+  expect_rejected(opts, "resolution");
+  opts.resolution = std::nan("");
+  expect_rejected(opts, "resolution");
+}
+
+TEST(OptionsValidate, RejectsCorruptedTransportEnum) {
+  ParOptions opts;
+  opts.transport = static_cast<pml::TransportKind>(42);
+  expect_rejected(opts, "transport");
+}
+
+TEST(OptionsValidate, EntryPointsRejectBeforeSpawningRanks) {
+  // The front door must surface the validation error directly (no rank
+  // fleet, no wrapped exception).
+  graph::EdgeList edges;
+  edges.add(0, 1);
+  ParOptions opts;
+  opts.max_levels = 0;
+  EXPECT_THROW((void)louvain(GraphSource::from_edges(edges), opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace plv::core

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+
+#include "transport_param.hpp"
 
 namespace plv::pml {
 namespace {
@@ -12,8 +15,16 @@ struct Record {
   int payload;
 };
 
-TEST(Aggregator, DeliversEverythingAfterFlush) {
-  Runtime::run(4, [&](Comm& comm) {
+class AggregatorTest : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  void SetUp() override { PLV_SKIP_IF_UNSUPPORTED(GetParam()); }
+  void run(int nranks, const std::function<void(Comm&)>& body) const {
+    Runtime::run(nranks, body, GetParam());
+  }
+};
+
+TEST_P(AggregatorTest, DeliversEverythingAfterFlush) {
+  run(4, [&](Comm& comm) {
     Aggregator<Record> agg(comm, 8);
     // Each rank sends 100 records round-robin across destinations.
     for (int i = 0; i < 100; ++i) {
@@ -24,23 +35,23 @@ TEST(Aggregator, DeliversEverythingAfterFlush) {
     comm.drain_until_quiescent<Record>([&](int, std::span<const Record> recs) {
       received += static_cast<int>(recs.size());
     });
-    EXPECT_EQ(received, 100);  // 4 ranks * 25 records each to me
+    PLV_RANK_CHECK_EQ(received, 100);  // 4 ranks * 25 records each to me
   });
 }
 
-TEST(Aggregator, CoalescesIntoCapacitySizedChunks) {
-  Runtime::run(2, [&](Comm& comm) {
+TEST_P(AggregatorTest, CoalescesIntoCapacitySizedChunks) {
+  run(2, [&](Comm& comm) {
     Aggregator<Record> agg(comm, 10);
     for (int i = 0; i < 95; ++i) agg.push(1 - comm.rank(), Record{comm.rank(), i});
     agg.flush_all();
     // 95 records with capacity 10 → 9 full + 1 partial = 10 chunks.
-    EXPECT_EQ(comm.stats().chunks_sent, 10u);
+    PLV_RANK_CHECK_EQ(comm.stats().chunks_sent, 10u);
     comm.drain_until_quiescent<Record>([](int, std::span<const Record>) {});
   });
 }
 
-TEST(Aggregator, PreservesRecordContents) {
-  Runtime::run(3, [&](Comm& comm) {
+TEST_P(AggregatorTest, PreservesRecordContents) {
+  run(3, [&](Comm& comm) {
     Aggregator<Record> agg(comm, 4);
     for (int i = 0; i < 30; ++i) {
       agg.push((comm.rank() + 1) % comm.nranks(), Record{comm.rank(), i * 7});
@@ -51,28 +62,50 @@ TEST(Aggregator, PreservesRecordContents) {
       for (const Record& r : recs) by_source[r.source].push_back(r.payload);
     });
     const int expected_source = (comm.rank() + comm.nranks() - 1) % comm.nranks();
-    ASSERT_EQ(by_source.size(), 1u);
-    ASSERT_TRUE(by_source.contains(expected_source));
+    PLV_RANK_CHECK_EQ(by_source.size(), 1u);
+    PLV_RANK_CHECK(by_source.contains(expected_source));
     auto& payloads = by_source[expected_source];
     std::sort(payloads.begin(), payloads.end());
-    for (int i = 0; i < 30; ++i) EXPECT_EQ(payloads[i], i * 7);
+    for (int i = 0; i < 30; ++i) {
+      PLV_RANK_CHECK_EQ(payloads[static_cast<std::size_t>(i)], i * 7);
+    }
   });
 }
 
-TEST(Aggregator, ZeroCapacityAutoSizes) {
-  Runtime::run(1, [&](Comm& comm) {
+TEST_P(AggregatorTest, ZeroCapacityAutoSizes) {
+  run(1, [&](Comm& comm) {
     Aggregator<Record> agg(comm, 0);
-    EXPECT_EQ(agg.capacity(), auto_aggregator_capacity(1, sizeof(Record)));
+    PLV_RANK_CHECK_EQ(agg.capacity(), auto_aggregator_capacity(1, sizeof(Record)));
     // 8-byte records, 1 rank: 64 KiB target chunk → 8192 records.
-    EXPECT_EQ(agg.capacity(), 8192u);
+    PLV_RANK_CHECK_EQ(agg.capacity(), 8192u);
     agg.push(0, Record{0, 1});
     agg.flush_all();
     int n = 0;
     comm.drain_until_quiescent<Record>(
         [&](int, std::span<const Record> recs) { n += static_cast<int>(recs.size()); });
-    EXPECT_EQ(n, 1);
+    PLV_RANK_CHECK_EQ(n, 1);
   });
 }
+
+TEST_P(AggregatorTest, SelfSendsWork) {
+  run(2, [&](Comm& comm) {
+    Aggregator<Record> agg(comm, 16);
+    agg.push(comm.rank(), Record{comm.rank(), 42});
+    agg.flush_all();
+    int payload = -1;
+    comm.drain_until_quiescent<Record>([&](int src, std::span<const Record> recs) {
+      PLV_RANK_CHECK_EQ(src, comm.rank());
+      payload = recs[0].payload;
+    });
+    PLV_RANK_CHECK_EQ(payload, 42);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, AggregatorTest,
+                         ::testing::ValuesIn(kAllTransports),
+                         [](const auto& info) {
+                           return transport_test_name(info.param);
+                         });
 
 TEST(Aggregator, AutoCapacityScalesWithFleetAndRecordSize) {
   // Small fleets get the 64 KiB target chunk.
@@ -86,20 +119,6 @@ TEST(Aggregator, AutoCapacityScalesWithFleetAndRecordSize) {
   // Degenerate inputs stay sane.
   EXPECT_EQ(auto_aggregator_capacity(0, 16), auto_aggregator_capacity(1, 16));
   EXPECT_EQ(auto_aggregator_capacity(4, 0), 64u);
-}
-
-TEST(Aggregator, SelfSendsWork) {
-  Runtime::run(2, [&](Comm& comm) {
-    Aggregator<Record> agg(comm, 16);
-    agg.push(comm.rank(), Record{comm.rank(), 42});
-    agg.flush_all();
-    int payload = -1;
-    comm.drain_until_quiescent<Record>([&](int src, std::span<const Record> recs) {
-      EXPECT_EQ(src, comm.rank());
-      payload = recs[0].payload;
-    });
-    EXPECT_EQ(payload, 42);
-  });
 }
 
 }  // namespace

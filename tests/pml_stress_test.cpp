@@ -2,6 +2,9 @@
 // collectives and fine-grained traffic, validated against locally
 // computable ground truth. These are the failure-injection-style tests
 // for the substrate every higher layer depends on.
+//
+// Parameterized over both transports; rank bodies report failures by
+// throwing (PLV_RANK_CHECK) so forked proc-backend children surface them.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -12,13 +15,22 @@
 #include "common/random.hpp"
 #include "pml/aggregator.hpp"
 #include "pml/comm.hpp"
+#include "transport_param.hpp"
 
 namespace plv::pml {
 namespace {
 
-TEST(PmlStress, RepeatedMixedCollectivesStayConsistent) {
+class PmlStress : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  void SetUp() override { PLV_SKIP_IF_UNSUPPORTED(GetParam()); }
+  void run(int nranks, const std::function<void(Comm&)>& body) const {
+    Runtime::run(nranks, body, GetParam());
+  }
+};
+
+TEST_P(PmlStress, RepeatedMixedCollectivesStayConsistent) {
   constexpr int kRounds = 200;
-  Runtime::run(4, [&](Comm& comm) {
+  run(4, [&](Comm& comm) {
     Xoshiro256 rng(1000 + static_cast<std::uint64_t>(comm.rank()));
     for (int round = 0; round < kRounds; ++round) {
       // Values derived from (round, rank) so every rank can predict the
@@ -34,23 +46,23 @@ TEST(PmlStress, RepeatedMixedCollectivesStayConsistent) {
         expected_sum += v;
         expected_max = std::max(expected_max, v);
       }
-      ASSERT_EQ(comm.allreduce_sum(mine), expected_sum);
-      ASSERT_EQ(comm.allreduce_max(mine), expected_max);
+      PLV_RANK_CHECK_EQ(comm.allreduce_sum(mine), expected_sum);
+      PLV_RANK_CHECK_EQ(comm.allreduce_max(mine), expected_max);
       const auto gathered = comm.allgather(mine);
       for (int r = 0; r < comm.nranks(); ++r) {
-        ASSERT_EQ(gathered[static_cast<std::size_t>(r)],
-                  mix64(static_cast<std::uint64_t>(round) * 31 +
-                        static_cast<std::uint64_t>(r)) %
-                      1000);
+        PLV_RANK_CHECK_EQ(gathered[static_cast<std::size_t>(r)],
+                          mix64(static_cast<std::uint64_t>(round) * 31 +
+                                static_cast<std::uint64_t>(r)) %
+                              1000);
       }
       (void)rng();
     }
   });
 }
 
-TEST(PmlStress, RandomizedExchangeConservesRecords) {
+TEST_P(PmlStress, RandomizedExchangeConservesRecords) {
   constexpr int kRounds = 50;
-  Runtime::run(5, [&](Comm& comm) {
+  run(5, [&](Comm& comm) {
     Xoshiro256 rng(77 + static_cast<std::uint64_t>(comm.rank()));
     for (int round = 0; round < kRounds; ++round) {
       std::vector<std::vector<std::uint64_t>> outgoing(5);
@@ -67,15 +79,16 @@ TEST(PmlStress, RandomizedExchangeConservesRecords) {
       std::uint64_t recv_checksum = 0;
       for (std::uint64_t v : incoming) recv_checksum += v;
       // Globally, everything sent is received exactly once.
-      ASSERT_EQ(comm.allreduce_sum(sent_checksum), comm.allreduce_sum(recv_checksum));
+      PLV_RANK_CHECK_EQ(comm.allreduce_sum(sent_checksum),
+                        comm.allreduce_sum(recv_checksum));
     }
   });
 }
 
-TEST(PmlStress, FineGrainedFloodDeliversEverything) {
+TEST_P(PmlStress, FineGrainedFloodDeliversEverything) {
   // Every rank floods every rank with small chunks through an
   // aggregator with a tiny capacity (maximum chunking overhead).
-  Runtime::run(6, [&](Comm& comm) {
+  run(6, [&](Comm& comm) {
     struct Rec {
       std::uint32_t src;
       std::uint32_t seq;
@@ -96,20 +109,20 @@ TEST(PmlStress, FineGrainedFloodDeliversEverything) {
         seq_sums[r.src] += r.seq;
       }
     });
-    ASSERT_EQ(per_source.size(), 6u);
+    PLV_RANK_CHECK_EQ(per_source.size(), 6u);
     const std::uint64_t expected_seq_sum =
         static_cast<std::uint64_t>(kPerDest) * (kPerDest - 1) / 2;
     for (const auto& [src, count] : per_source) {
-      EXPECT_EQ(count, kPerDest) << "source " << src;
-      EXPECT_EQ(seq_sums[src], expected_seq_sum) << "source " << src;
+      PLV_RANK_CHECK_EQ(count, kPerDest);
+      PLV_RANK_CHECK_EQ(seq_sums[src], expected_seq_sum);
     }
   });
 }
 
-TEST(PmlStress, InterleavedPhasesDoNotLeakRecords) {
+TEST_P(PmlStress, InterleavedPhasesDoNotLeakRecords) {
   // Two consecutive fine-grained phases with different record types: the
   // quiescence protocol must fence them perfectly.
-  Runtime::run(3, [&](Comm& comm) {
+  run(3, [&](Comm& comm) {
     struct A {
       std::uint64_t tag;
     };
@@ -123,11 +136,11 @@ TEST(PmlStress, InterleavedPhasesDoNotLeakRecords) {
       std::size_t got_a = 0;
       comm.drain_until_quiescent<A>([&](int, std::span<const A> recs) {
         for (const A& a : recs) {
-          ASSERT_EQ(a.tag, 0xAAAAu);
+          PLV_RANK_CHECK_EQ(a.tag, 0xAAAAu);
           ++got_a;
         }
       });
-      ASSERT_EQ(got_a, 3u);
+      PLV_RANK_CHECK_EQ(got_a, 3u);
 
       Aggregator<B> agg_b(comm, 4);
       for (int d = 0; d < comm.nranks(); ++d) agg_b.push(d, B{0xBBBB});
@@ -135,22 +148,22 @@ TEST(PmlStress, InterleavedPhasesDoNotLeakRecords) {
       std::size_t got_b = 0;
       comm.drain_until_quiescent<B>([&](int, std::span<const B> recs) {
         for (const B& b : recs) {
-          ASSERT_EQ(b.tag, 0xBBBBu);
+          PLV_RANK_CHECK_EQ(b.tag, 0xBBBBu);
           ++got_b;
         }
       });
-      ASSERT_EQ(got_b, 3u);
+      PLV_RANK_CHECK_EQ(got_b, 3u);
     }
   });
 }
 
-TEST(PmlStress, QuiescenceTerminatesWithInterleavedSendPoll) {
+TEST_P(PmlStress, QuiescenceTerminatesWithInterleavedSendPoll) {
   // The counted-termination protocol must converge even when ranks
   // interleave sends with early polls mid-phase: every record sent before
   // the drain is counted by exactly one marker, no matter how polling and
   // sending are shuffled against each other across 8 ranks.
   constexpr int kRounds = 20;
-  Runtime::run(8, [&](Comm& comm) {
+  run(8, [&](Comm& comm) {
     struct Rec {
       std::uint32_t src;
       std::uint32_t round;
@@ -161,7 +174,7 @@ TEST(PmlStress, QuiescenceTerminatesWithInterleavedSendPoll) {
       std::uint64_t got = 0;
       auto handler = [&](int, std::span<const Rec> recs) {
         for (const Rec& r : recs) {
-          ASSERT_EQ(r.round, static_cast<std::uint32_t>(round));
+          PLV_RANK_CHECK_EQ(r.round, static_cast<std::uint32_t>(round));
           ++got;
         }
       };
@@ -182,18 +195,18 @@ TEST(PmlStress, QuiescenceTerminatesWithInterleavedSendPoll) {
       agg.flush_all();
       comm.drain_until_quiescent<Rec>(handler);
       // Globally nothing is lost or duplicated.
-      ASSERT_EQ(comm.allreduce_sum(sent), comm.allreduce_sum(got));
+      PLV_RANK_CHECK_EQ(comm.allreduce_sum(sent), comm.allreduce_sum(got));
     }
   });
 }
 
-TEST(PmlStress, PhaseSkewDeferralKeepsEpochsSeparate) {
+TEST_P(PmlStress, PhaseSkewDeferralKeepsEpochsSeparate) {
   // Ranks deliberately race ahead: a fast rank finishes its drain and
   // immediately starts sending epoch-(E+1) traffic while slow ranks are
   // still polling epoch E. Epoch tags must defer early chunks, never
   // deliver them into the wrong phase.
   constexpr int kPhases = 50;
-  Runtime::run(6, [&](Comm& comm) {
+  run(6, [&](Comm& comm) {
     for (int phase = 0; phase < kPhases; ++phase) {
       // Odd ranks stall before sending so even ranks run a phase ahead.
       if (comm.rank() % 2 == 1 && phase % 5 == 0) {
@@ -207,21 +220,22 @@ TEST(PmlStress, PhaseSkewDeferralKeepsEpochsSeparate) {
       comm.drain_until_quiescent<std::uint64_t>(
           [&](int, std::span<const std::uint64_t> recs) {
             for (std::uint64_t v : recs) {
-              ASSERT_EQ(v, tag) << "record leaked across phases";
+              // A mismatch here means a record leaked across phases.
+              PLV_RANK_CHECK_EQ(v, tag);
               ++got;
             }
           });
-      ASSERT_EQ(got, static_cast<std::uint64_t>(comm.nranks()));
+      PLV_RANK_CHECK_EQ(got, static_cast<std::uint64_t>(comm.nranks()));
     }
   });
 }
 
-TEST(PmlStress, ManyRanksOnOneCore) {
-  // Oversubscription: 16 rank threads on this 1-core container must still
+TEST_P(PmlStress, ManyRanksOnOneCore) {
+  // Oversubscription: 16 ranks on this 1-core container must still
   // complete a full collective + fine-grained workout.
-  Runtime::run(16, [&](Comm& comm) {
+  run(16, [&](Comm& comm) {
     const int total = comm.allreduce_sum(1);
-    ASSERT_EQ(total, 16);
+    PLV_RANK_CHECK_EQ(total, 16);
     Aggregator<int> agg(comm, 8);
     agg.push((comm.rank() + 1) % 16, comm.rank());
     agg.flush_all();
@@ -229,9 +243,15 @@ TEST(PmlStress, ManyRanksOnOneCore) {
     comm.drain_until_quiescent<int>([&](int, std::span<const int> recs) {
       received = recs[0];
     });
-    ASSERT_EQ(received, (comm.rank() + 15) % 16);
+    PLV_RANK_CHECK_EQ(received, (comm.rank() + 15) % 16);
   });
 }
+
+INSTANTIATE_TEST_SUITE_P(Transports, PmlStress,
+                         ::testing::ValuesIn(kAllTransports),
+                         [](const auto& info) {
+                           return transport_test_name(info.param);
+                         });
 
 }  // namespace
 }  // namespace plv::pml

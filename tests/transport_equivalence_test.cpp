@@ -1,0 +1,121 @@
+// Cross-transport determinism: the thread and proc backends must produce
+// bit-identical artifacts for the same options and input. The engine's
+// determinism argument (rank-order collective combining, deterministic
+// tie-breaks) is transport-independent — this test pins that claim.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/louvain.hpp"
+#include "core/louvain_par.hpp"
+#include "gen/lfr.hpp"
+#include "transport_param.hpp"
+
+namespace plv {
+namespace {
+
+// These tests pass explicit transports through ParOptions, so a
+// PLV_TRANSPORT value inherited from the environment (CI proc legs set it
+// binary-wide) must be parked for the duration of each test.
+class TransportEquivalence : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PLV_SKIP_IF_UNSUPPORTED(pml::TransportKind::kProc);
+    const char* value = std::getenv("PLV_TRANSPORT");
+    if (value != nullptr) saved_ = value;
+    had_env_ = value != nullptr;
+    unsetenv("PLV_TRANSPORT");
+  }
+  void TearDown() override {
+    if (had_env_) setenv("PLV_TRANSPORT", saved_.c_str(), 1);
+  }
+
+ private:
+  bool had_env_{false};
+  std::string saved_;
+};
+
+const graph::EdgeList& lfr_input() {
+  static const auto g = gen::lfr({.n = 2000, .mu = 0.3, .seed = 23});
+  return g.edges;
+}
+
+core::ParOptions opts_for(pml::TransportKind kind) {
+  core::ParOptions opts;
+  opts.nranks = 4;
+  opts.transport = kind;
+  return opts;
+}
+
+void expect_identical(const Result& thread_r, const Result& proc_r) {
+  EXPECT_EQ(thread_r.transport, "thread");
+  EXPECT_EQ(proc_r.transport, "proc");
+  // Bitwise-equal modularity, not nearly-equal: both backends must
+  // combine partial sums in the same (rank) order.
+  EXPECT_EQ(thread_r.final_modularity, proc_r.final_modularity);
+  EXPECT_EQ(thread_r.final_labels, proc_r.final_labels);
+  ASSERT_EQ(thread_r.num_levels(), proc_r.num_levels());
+  for (std::size_t l = 0; l < thread_r.num_levels(); ++l) {
+    EXPECT_EQ(thread_r.levels[l].labels, proc_r.levels[l].labels) << "level " << l;
+    EXPECT_EQ(thread_r.levels[l].modularity, proc_r.levels[l].modularity)
+        << "level " << l;
+    // Communication volume is part of the deterministic artifact too.
+    EXPECT_EQ(thread_r.levels[l].traffic.records_sent,
+              proc_r.levels[l].traffic.records_sent)
+        << "level " << l;
+  }
+  EXPECT_EQ(thread_r.traffic.records_sent, proc_r.traffic.records_sent);
+}
+
+TEST_F(TransportEquivalence, ColdStartIsBitIdentical) {
+  const auto thread_r = louvain(GraphSource::from_edges(lfr_input()),
+                                opts_for(pml::TransportKind::kThread));
+  const auto proc_r = louvain(GraphSource::from_edges(lfr_input()),
+                              opts_for(pml::TransportKind::kProc));
+  expect_identical(thread_r, proc_r);
+}
+
+TEST_F(TransportEquivalence, WarmStartIsBitIdentical) {
+  // Seed the warm start from a run's own output so the initial partition
+  // is realistic rather than synthetic.
+  const auto seed_run = louvain(GraphSource::from_edges(lfr_input()),
+                                opts_for(pml::TransportKind::kThread));
+  const auto thread_r =
+      louvain(GraphSource::from_edges_warm(lfr_input(), seed_run.final_labels),
+              opts_for(pml::TransportKind::kThread));
+  const auto proc_r =
+      louvain(GraphSource::from_edges_warm(lfr_input(), seed_run.final_labels),
+              opts_for(pml::TransportKind::kProc));
+  expect_identical(thread_r, proc_r);
+}
+
+TEST_F(TransportEquivalence, StreamedIngestIsBitIdentical) {
+  // Each rank contributes a deterministic stripe of the edge list.
+  const EdgeSliceFn slice = [](int rank, int nranks) {
+    const auto& all = lfr_input().edges();
+    graph::EdgeList mine;
+    for (std::size_t i = static_cast<std::size_t>(rank); i < all.size();
+         i += static_cast<std::size_t>(nranks)) {
+      mine.add(all[i].u, all[i].v, all[i].w);
+    }
+    return mine;
+  };
+  const vid_t n = lfr_input().vertex_count();
+  const auto thread_r = louvain(GraphSource::from_stream(slice, n),
+                                opts_for(pml::TransportKind::kThread));
+  const auto proc_r =
+      louvain(GraphSource::from_stream(slice, n), opts_for(pml::TransportKind::kProc));
+  expect_identical(thread_r, proc_r);
+}
+
+TEST_F(TransportEquivalence, EnvOverrideWinsOverOptions) {
+  setenv("PLV_TRANSPORT", "proc", 1);
+  const auto r = louvain(GraphSource::from_edges(lfr_input()),
+                         opts_for(pml::TransportKind::kThread));
+  unsetenv("PLV_TRANSPORT");
+  EXPECT_EQ(r.transport, "proc");
+}
+
+}  // namespace
+}  // namespace plv
