@@ -25,6 +25,16 @@ class Histogram {
     assert(hi >= lo);
   }
 
+  /// Re-ranges and zeroes the histogram in place, reusing the bin storage
+  /// — persistent instances (the per-iteration gain histogram) pay no
+  /// allocation once the bin count is stable.
+  void reset(double lo, double hi, std::size_t bins) noexcept {
+    assert(hi >= lo);
+    lo_ = lo;
+    hi_ = hi;
+    counts_.assign(bins == 0 ? 1 : bins, 0);
+  }
+
   void add(double value, std::uint64_t count = 1) noexcept {
     counts_[bin_of(value)] += count;
   }

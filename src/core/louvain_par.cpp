@@ -38,6 +38,13 @@ struct PropMsg {
 inline constexpr vid_t kRetractBit = 0x80000000u;
 
 /// UPDATE: Σtot / member-count delta for community c, applied by owner(c).
+/// On the overlapped pipeline the same record doubles as the global move
+/// tally: each rank closes the streaming delta exchange by sending every
+/// rank one record with c == kInvalidVid (never a real community id),
+/// dcount = its local move count and dtot = its local delta-record count
+/// (exact in a double far beyond any reachable table size). Receivers sum
+/// the sentinels instead of running a separate MoveTally allreduce — one
+/// collective round gone per iteration.
 struct DeltaMsg {
   vid_t c;
   std::int32_t dcount;
@@ -168,8 +175,11 @@ class RankEngine {
       agg.push(part_.owner(e.v), EdgeMsg{e.u, e.v, e.w});
       agg.push(part_.owner(e.u), EdgeMsg{e.v, e.u, e.w});
     }
-    agg.flush_all();
-    comm_.drain_until_quiescent<EdgeMsg>([&](int, std::span<const EdgeMsg> msgs) {
+    agg.flush_all_final();
+    // Ordered streaming drain: arrivals apply in source-rank order, so the
+    // table layout (and every scan over it) is deterministic across runs
+    // and transports instead of arrival-timing dependent.
+    comm_.drain_streaming_finalized<EdgeMsg>([&](int, std::span<const EdgeMsg> msgs) {
       for (const EdgeMsg& m : msgs) {
         in_table_.insert_or_add(pack_key(m.src, m.dst), m.w);
       }
@@ -190,8 +200,10 @@ class RankEngine {
       ScopedPhase sp(timers_, phase::kStatePropagation);
       state_propagation_full();
     }
-    compute_sigma_in();
-    double q = global_modularity();
+    // Σin was accumulated by the propagation drain itself; only the
+    // owner exchange and the reduction remain.
+    exchange_sigma_in();
+    double q = comm_.allreduce_sum(local_modularity());
 
     {
       ScopedPhase sp(timers_, phase::kRefine);
@@ -304,22 +316,30 @@ class RankEngine {
   /// Full rebuild: clears Out_Table and re-ships every In_Table entry
   /// under its current label. Re-derives the Σtot request bookkeeping from
   /// scratch, which also resets any floating-point drift the incremental
-  /// path accumulated on non-integer weights.
+  /// path accumulated on non-integer weights. The drain doubles as the Σin
+  /// accumulation pass: a record (v, c, w) with label(v) == c is exactly a
+  /// Σin contribution, so sin_acc_ is rebuilt from scratch here — fused
+  /// into the receive loop instead of a separate full table scan.
   void state_propagation_full() {
     out_table_.clear();
+    sin_acc_.clear();
+    sin_acc_.reserve(label_.size() + 1);
     in_table_.for_each([&](std::uint64_t key, weight_t w) {
       const vid_t v = key_hi(key);
       const vid_t u = key_lo(key);  // owned
       prop_agg_.push(part_.owner(v), PropMsg{v, label_[part_.to_local(u)], w});
     });
-    prop_agg_.flush_all();
-    comm_.drain_until_quiescent<PropMsg>([&](int /*src*/, std::span<const PropMsg> msgs) {
+    prop_agg_.flush_all_final();
+    comm_.drain_streaming_finalized<PropMsg>([&](int /*src*/,
+                                                 std::span<const PropMsg> msgs) {
       for (const PropMsg& m : msgs) {
         out_table_.insert_or_add(pack_key(m.v, m.c), m.w);
+        if (label_[part_.to_local(m.v)] == m.c) sin_acc_.ref(m.c) += m.w;
       }
     });
     rebuild_sigma_requests();
     iters_since_rebuild_ = 0;
+    drift_accum_ = 0.0;
   }
 
   /// Incremental maintenance: ships one (retraction, assertion) pair per
@@ -339,14 +359,25 @@ class RankEngine {
         prop_agg_.push(dest, PropMsg{e.v, mv.to, e.w});
       }
     }
-    prop_agg_.flush_all();
-    comm_.drain_until_quiescent<PropMsg>([&](int /*src*/, std::span<const PropMsg> msgs) {
+    prop_agg_.flush_all_final();
+    // Each patch also carries Σin forward: under the receiver's (already
+    // post-move) labels, a patch to entry (v, c) shifts the community's
+    // internal weight exactly when label(v) == c. Combined with the local
+    // adjustments made at move time (update_communities), sin_acc_ lands
+    // on the same value a fresh post-propagation scan would compute —
+    // exactly, in integer-weight arithmetic; within one iteration's
+    // rounding otherwise (the fused FIND scan re-derives it next
+    // iteration, so the drift never compounds).
+    comm_.drain_streaming_finalized<PropMsg>([&](int /*src*/,
+                                                 std::span<const PropMsg> msgs) {
       for (const PropMsg& m : msgs) {
         if ((m.c & kRetractBit) != 0) {
           const vid_t c = m.c & ~kRetractBit;
           if (out_table_.retract(pack_key(m.v, c), m.w)) ref_sub(c);
-        } else if (out_table_.insert_or_add(pack_key(m.v, m.c), m.w)) {
-          ref_add(m.c);
+          if (label_[part_.to_local(m.v)] == c) sin_acc_.ref(c) -= m.w;
+        } else {
+          if (out_table_.insert_or_add(pack_key(m.v, m.c), m.w)) ref_add(m.c);
+          if (label_[part_.to_local(m.v)] == m.c) sin_acc_.ref(m.c) += m.w;
         }
       }
     });
@@ -438,61 +469,115 @@ class RankEngine {
 
   /// Fetches Σtot for every community referenced by this rank's Out_Table
   /// (request/reply to the owners, request lists maintained incrementally),
-  /// then scans the table to fill best_/gain_ per owned vertex.
+  /// then scans the table ONCE to fill best_/gain_ per owned vertex AND
+  /// re-derive the Σin pre-aggregation: an entry (u, c) with c == label(u)
+  /// is a Σin contribution and never a join candidate, so the branch that
+  /// used to skip it now accumulates it — compute_sigma_in's second full
+  /// scan is gone.
+  ///
+  /// With opts_.overlap the request/reply rides the streaming plane: the
+  /// Σtot requests are on the wire while this rank runs the stay-score
+  /// initialization (the Out_Table lookups, the σ-independent half), and
+  /// no collective rendezvous happens at all. Both modes execute the same
+  /// arithmetic in the same order; only the transport pattern differs.
   void find_best_community() {
     apply_sigma_request_changes();
+    const auto nranks = static_cast<std::size_t>(comm_.nranks());
+    const vid_t local_n = static_cast<vid_t>(label_.size());
 
-    const auto incoming = comm_.exchange_grouped(sigma_reqs_);
-    std::vector<std::vector<SigmaRep>> replies(static_cast<std::size_t>(comm_.nranks()));
-    for (int r = 0; r < comm_.nranks(); ++r) {
-      const auto& reqs = incoming[static_cast<std::size_t>(r)];
-      auto& rep = replies[static_cast<std::size_t>(r)];
+    // σ-independent half of the stay score: w_stay = Out[(u, cu)] − self
+    // loop. The σ term is folded in after the replies arrive.
+    auto stay_init = [&] {
+      for (vid_t l = 0; l < local_n; ++l) {
+        const vid_t cu = label_[l];
+        const vid_t u = part_.to_global(comm_.rank(), l);
+        stay_score_[l] = out_table_.find(pack_key(u, cu)).value_or(0.0) - self_loop_[l];
+        best_[l] = cu;
+        gain_[l] = 0.0;
+      }
+    };
+    auto build_reply = [&](const std::vector<vid_t>& reqs, std::vector<SigmaRep>& rep) {
+      rep.clear();
       rep.reserve(reqs.size());
       for (vid_t c : reqs) {
         const CommInfo* info = comms_.find(c);
         rep.push_back(info == nullptr ? SigmaRep{0, 0}
                                       : SigmaRep{info->sigma_tot, info->members});
       }
-    }
-    const auto answered = comm_.exchange_grouped(replies);
+    };
 
-    sigma_cache_.clear();
     std::size_t total_reqs = 0;
     for (const auto& reqs : sigma_reqs_) total_reqs += reqs.size();
-    sigma_cache_.reserve(total_reqs + 1);
-    for (int r = 0; r < comm_.nranks(); ++r) {
-      const auto& reqs = sigma_reqs_[static_cast<std::size_t>(r)];
-      const auto& vals = answered[static_cast<std::size_t>(r)];
-      assert(reqs.size() == vals.size());
-      for (std::size_t i = 0; i < reqs.size(); ++i) sigma_cache_.ref(reqs[i]) = vals[i];
+
+    if (opts_.overlap) {
+      if (req_in_.size() != nranks) req_in_.resize(nranks);
+      for (auto& reqs : req_in_) reqs.clear();
+      if (replies_.size() != nranks) replies_.resize(nranks);
+      // Requests stream to the owners while we run the stay-score loop.
+      comm_.exchange_streaming<vid_t>(
+          sigma_reqs_,
+          [&](int src, std::span<const vid_t> reqs) {
+            auto& dst = req_in_[static_cast<std::size_t>(src)];
+            dst.insert(dst.end(), reqs.begin(), reqs.end());
+          },
+          stay_init);
+      for (std::size_t r = 0; r < nranks; ++r) build_reply(req_in_[r], replies_[r]);
+      sigma_cache_.clear();
+      sigma_cache_.reserve(total_reqs + 1);
+      // Replies from owner r answer sigma_reqs_[r] in order; a per-source
+      // cursor keeps the pairing correct across chunk boundaries.
+      reply_cursor_.assign(nranks, 0);
+      comm_.exchange_streaming<SigmaRep>(replies_, [&](int src,
+                                                       std::span<const SigmaRep> vals) {
+        const auto& reqs = sigma_reqs_[static_cast<std::size_t>(src)];
+        auto& cur = reply_cursor_[static_cast<std::size_t>(src)];
+        for (const SigmaRep& v : vals) {
+          assert(cur < reqs.size());
+          sigma_cache_.ref(reqs[cur++]) = v;
+        }
+      });
+    } else {
+      const auto incoming = comm_.exchange_grouped(sigma_reqs_);
+      std::vector<std::vector<SigmaRep>> replies(nranks);
+      for (std::size_t r = 0; r < nranks; ++r) build_reply(incoming[r], replies[r]);
+      const auto answered = comm_.exchange_grouped(replies);
+      sigma_cache_.clear();
+      sigma_cache_.reserve(total_reqs + 1);
+      for (std::size_t r = 0; r < nranks; ++r) {
+        const auto& reqs = sigma_reqs_[r];
+        const auto& vals = answered[r];
+        assert(reqs.size() == vals.size());
+        for (std::size_t i = 0; i < reqs.size(); ++i) sigma_cache_.ref(reqs[i]) = vals[i];
+      }
+      stay_init();
     }
 
-    // 2. Initialize with the stay score, then scan Out_Table for joins.
-    //    Comparing joins by (w_uc − Σtot_c·k_u/2m) is equivalent to
-    //    comparing ΔQ (metrics/modularity.hpp); the final gain is the
-    //    join-vs-stay difference rescaled to true ΔQ units.
-    const vid_t local_n = static_cast<vid_t>(label_.size());
+    // Fold the σ term into the stay score (identical arithmetic on both
+    // paths: (w_stay) − γ(σ − k)k/2m, left-associated as before).
     for (vid_t l = 0; l < local_n; ++l) {
-      const vid_t cu = label_[l];
-      const vid_t u = part_.to_global(comm_.rank(), l);
-      const weight_t w_stay =
-          out_table_.find(pack_key(u, cu)).value_or(0.0) - self_loop_[l];
-      const SigmaRep* own = sigma_cache_.find(cu);
+      const SigmaRep* own = sigma_cache_.find(label_[l]);
       assert(own != nullptr);
-      stay_score_[l] = w_stay - opts_.resolution * (own->sigma_tot - strength_[l]) *
-                                    strength_[l] / two_m_;
-      best_[l] = cu;
-      gain_[l] = 0.0;
+      stay_score_[l] -= opts_.resolution * (own->sigma_tot - strength_[l]) *
+                        strength_[l] / two_m_;
     }
     // best_score starts equal to stay_score; track it in gain_ scaled later.
-    std::vector<double> best_score(stay_score_);
+    best_score_ = stay_score_;
 
+    // The single fused scan: Σin accumulation (c == cu) + join search
+    // (c != cu). Comparing joins by (w_uc − Σtot_c·k_u/2m) is equivalent
+    // to comparing ΔQ (metrics/modularity.hpp); the final gain is the
+    // join-vs-stay difference rescaled to true ΔQ units.
+    sin_acc_.clear();
+    sin_acc_.reserve(label_.size() + 1);
     out_table_.for_each([&](std::uint64_t key, weight_t w) {
       const vid_t u = key_hi(key);
       const vid_t c = key_lo(key);
       const vid_t l = part_.to_local(u);
       const vid_t cu = label_[l];
-      if (c == cu) return;
+      if (c == cu) {
+        sin_acc_.ref(c) += w;
+        return;
+      }
       const SigmaRep* target = sigma_cache_.find(c);
       assert(target != nullptr);
       // Singleton-swap guard (Lu et al. [11], cited by the paper): when a
@@ -503,31 +588,35 @@ class RankEngine {
       if (target->members == 1 && sigma_cache_.find(cu)->members == 1 && c > cu) return;
       const double score =
           w - opts_.resolution * target->sigma_tot * strength_[l] / two_m_;
-      if (score > best_score[l] + 1e-15 ||
-          (score > best_score[l] - 1e-15 && c < best_[l])) {
-        best_score[l] = score;
+      if (score > best_score_[l] + 1e-15 ||
+          (score > best_score_[l] - 1e-15 && c < best_[l])) {
+        best_score_[l] = score;
         best_[l] = c;
       }
     });
     for (vid_t l = 0; l < local_n; ++l) {
       gain_[l] =
-          best_[l] == label_[l] ? 0.0 : 2.0 * (best_score[l] - stay_score_[l]) / two_m_;
+          best_[l] == label_[l] ? 0.0 : 2.0 * (best_score_[l] - stay_score_[l]) / two_m_;
     }
   }
 
   // -- threshold selection (Section IV-B) -----------------------------------
 
   /// Translates ε(iter) into the global gain cutoff ΔQ̂ via an allreduced
-  /// histogram of positive gains.
+  /// histogram of positive gains. A single pass over gain_ collects the
+  /// positive values (into a persistent buffer) together with the local
+  /// max, so the histogram fill re-reads a compact array instead of
+  /// walking the full gain vector a second time; the histogram and the
+  /// reduction scratch are persistent too — no steady-state allocation.
   [[nodiscard]] double gain_cutoff(int iter, double& eps_out) {
     const double eps = epsilon_of(opts_.threshold, opts_.p1, opts_.p2, iter);
     eps_out = eps;
     double local_max = 0.0;
-    std::uint64_t local_pos = 0;
+    pos_gains_.clear();
     for (double g : gain_) {
       if (g > 0.0) {
         local_max = std::max(local_max, g);
-        ++local_pos;
+        pos_gains_.push_back(g);
       }
     }
     struct MaxCount {
@@ -535,23 +624,21 @@ class RankEngine {
       std::uint64_t count;
     };
     const auto agg = comm_.allreduce(
-        MaxCount{local_max, local_pos}, [](const MaxCount& a, const MaxCount& b) {
+        MaxCount{local_max, pos_gains_.size()}, [](const MaxCount& a, const MaxCount& b) {
           return MaxCount{a.max < b.max ? b.max : a.max, a.count + b.count};
         });
     if (agg.count == 0 || agg.max <= 0.0) return -1.0;  // signals "no mover"
     if (eps >= 1.0) return 0.0;                         // all positive gains move
 
-    Histogram hist(0.0, agg.max, opts_.gain_histogram_bins);
-    for (double g : gain_) {
-      if (g > 0.0) hist.add(g);
-    }
-    comm_.allreduce_vec_sum(hist.counts());
+    hist_.reset(0.0, agg.max, opts_.gain_histogram_bins);
+    for (double g : pos_gains_) hist_.add(g);
+    comm_.allreduce_vec_sum(hist_.counts(), hist_scratch_);
 
     // ε is a fraction of *all* level vertices (the paper sorts ΔQ_u over
     // V); convert to a fraction of the positive-gain population.
     const double budget = eps * static_cast<double>(n_level_);
     const double frac = std::min(1.0, budget / static_cast<double>(agg.count));
-    return hist.top_fraction_cutoff(frac);
+    return hist_.top_fraction_cutoff(frac);
   }
 
   // -- UPDATE COMMUNITY INFORMATION (Algorithm 4 lines 13-15) ---------------
@@ -559,8 +646,16 @@ class RankEngine {
   /// Moves every owned vertex whose gain clears the cutoff; ships Σtot and
   /// member-count deltas to the community owners; records the move list
   /// the delta propagation would replay. Returns the global tally.
+  ///
+  /// Each move also carries the local Σin pre-aggregation forward: row
+  /// (u, from) stops counting toward Σin(from) and row (u, to) starts
+  /// counting toward Σin(to) — both against the *pre-propagation* table
+  /// the fused scan just read; the propagation drain patches in the edge
+  /// re-pointing afterwards (see state_propagation_delta).
   [[nodiscard]] MoveTally update_communities(double cutoff) {
-    std::vector<std::vector<DeltaMsg>> deltas(static_cast<std::size_t>(comm_.nranks()));
+    delta_out_.resize(static_cast<std::size_t>(comm_.nranks()));
+    for (auto& dest : delta_out_) dest.clear();
+    auto& deltas = delta_out_;
     MoveTally local;
     moves_.clear();
     if (cutoff >= 0.0) {
@@ -574,6 +669,9 @@ class RankEngine {
         moves_.push_back(Move{l, from, to});
         ref_sub(from);
         ref_add(to);
+        const vid_t u = part_.to_global(comm_.rank(), l);
+        sin_acc_.ref(from) -= out_table_.find(pack_key(u, from)).value_or(0.0);
+        sin_acc_.ref(to) += out_table_.find(pack_key(u, to)).value_or(0.0);
         deltas[static_cast<std::size_t>(part_.owner(from))].push_back(
             DeltaMsg{from, -1, -strength_[l]});
         deltas[static_cast<std::size_t>(part_.owner(to))].push_back(
@@ -582,6 +680,32 @@ class RankEngine {
         local.delta_records +=
             2 * (adj_start_[static_cast<std::size_t>(l) + 1] - adj_start_[l]);
       }
+    }
+    if (opts_.overlap) {
+      // The global move tally piggybacks on the delta exchange itself:
+      // every rank appends one sentinel (c == kInvalidVid) per peer with
+      // its local counts, and the ordered drain sums them — no separate
+      // MoveTally allreduce round. Both counts are integers, exact in a
+      // double far beyond any reachable size.
+      for (auto& dest : deltas) {
+        dest.push_back(DeltaMsg{kInvalidVid, static_cast<std::int32_t>(local.moves),
+                                static_cast<weight_t>(local.delta_records)});
+      }
+      MoveTally global;
+      comm_.exchange_streaming<DeltaMsg>(
+          deltas, [&](int /*src*/, std::span<const DeltaMsg> msgs) {
+            for (const DeltaMsg& d : msgs) {
+              if (d.c == kInvalidVid) {
+                global.moves += static_cast<std::uint64_t>(d.dcount);
+                global.delta_records += static_cast<std::uint64_t>(d.dtot);
+                continue;
+              }
+              CommInfo& info = comms_.ref(d.c);
+              info.sigma_tot += d.dtot;
+              info.members += d.dcount;
+            }
+          });
+      return global;
     }
     const auto incoming = comm_.exchange(deltas);
     for (const DeltaMsg& d : incoming) {
@@ -596,33 +720,40 @@ class RankEngine {
 
   // -- Σin + modularity (Algorithm 4 lines 18-25) ----------------------------
 
-  void compute_sigma_in() {
+  /// Ships the local Σin pre-aggregation (sin_acc_, maintained by the
+  /// fused find scan + move-time carry + propagation-drain patches — the
+  /// second full Out_Table scan the old compute_sigma_in ran is gone) to
+  /// the community owners. Local pre-aggregation keeps message volume at
+  /// one record per (rank, community) pair.
+  void exchange_sigma_in() {
     comms_.for_each([](vid_t, CommInfo& info) { info.sigma_in = 0.0; });
-    // Local pre-aggregation before the exchange keeps message volume at
-    // one record per (rank, community) pair.
-    sin_acc_.clear();
-    sin_acc_.reserve(label_.size() + 1);
-    out_table_.for_each([&](std::uint64_t key, weight_t w) {
-      const vid_t u = key_hi(key);
-      const vid_t c = key_lo(key);
-      if (label_[part_.to_local(u)] == c) sin_acc_.ref(c) += w;
-    });
-    std::vector<std::vector<SinMsg>> outgoing(static_cast<std::size_t>(comm_.nranks()));
+    sin_out_.resize(static_cast<std::size_t>(comm_.nranks()));
+    for (auto& dest : sin_out_) dest.clear();
     sin_acc_.for_each([&](vid_t c, weight_t& w) {
-      outgoing[static_cast<std::size_t>(part_.owner(c))].push_back(SinMsg{c, 0, w});
+      sin_out_[static_cast<std::size_t>(part_.owner(c))].push_back(SinMsg{c, 0, w});
     });
-    const auto incoming = comm_.exchange(outgoing);
-    for (const SinMsg& m : incoming) comms_.ref(m.c).sigma_in += m.w;
+    if (opts_.overlap) {
+      comm_.exchange_streaming<SinMsg>(
+          sin_out_, [&](int /*src*/, std::span<const SinMsg> msgs) {
+            for (const SinMsg& m : msgs) comms_.ref(m.c).sigma_in += m.w;
+          });
+    } else {
+      const auto incoming = comm_.exchange(sin_out_);
+      for (const SinMsg& m : incoming) comms_.ref(m.c).sigma_in += m.w;
+    }
   }
 
-  [[nodiscard]] double global_modularity() {
+  /// This rank's modularity contribution (sum over owned communities);
+  /// the caller reduces it — standalone or merged with other per-iteration
+  /// scalars into one combined allreduce (see refine).
+  [[nodiscard]] double local_modularity() const {
     double q_local = 0.0;
     comms_.for_each([&](vid_t, const CommInfo& info) {
       if (info.members <= 0) return;
       const double tot = info.sigma_tot / two_m_;
       q_local += info.sigma_in / two_m_ - opts_.resolution * tot * tot;
     });
-    return comm_.allreduce_sum(q_local);
+    return q_local;
   }
 
   // -- REFINE (Algorithm 4) ---------------------------------------------------
@@ -650,26 +781,60 @@ class RankEngine {
 
       // Full-vs-delta is a *global* decision (receivers must know whether
       // to clear Out_Table), taken from allreduced inputs so every rank
-      // picks the same branch: rebuild when the cadence says so, or when
-      // the delta would ship at least as many records as a rebuild — the
-      // delta path never loses on traffic.
-      const bool rebuild_due = opts_.full_rebuild_every > 0 &&
-                               iters_since_rebuild_ + 1 >= opts_.full_rebuild_every;
+      // picks the same branch: rebuild when the cadence says so, when the
+      // accumulated churn since the last rebuild crosses the adaptive
+      // drift threshold (reacting to actual table turnover rather than a
+      // blind counter — the counter stays as the hard upper bound), or
+      // when the delta would ship at least as many records as a rebuild —
+      // the delta path never loses on traffic.
+      const double churn =
+          full_prop_records_ > 0
+              ? static_cast<double>(moved.delta_records) /
+                    static_cast<double>(full_prop_records_)
+              : 0.0;
+      const bool rebuild_due =
+          (opts_.full_rebuild_every > 0 &&
+           iters_since_rebuild_ + 1 >= opts_.full_rebuild_every) ||
+          (opts_.adaptive_rebuild_drift > kAdaptiveRebuildOff &&
+           drift_accum_ + churn >= opts_.adaptive_rebuild_drift);
       const bool delta_wins =
           delta_possible && moved.delta_records < full_prop_records_;
       t.reset();
       const std::uint64_t sent_before = comm_.stats().records_sent;
       if (rebuild_due || !delta_wins) {
-        state_propagation_full();
+        state_propagation_full();  // resets drift_accum_
       } else {
+        drift_accum_ += churn;
         state_propagation_delta();
       }
       const std::uint64_t prop_sent = comm_.stats().records_sent - sent_before;
       const double prop_s = t.seconds();
       timers_.add(phase::kStatePropagation, prop_s);
 
-      compute_sigma_in();
-      const double q = global_modularity();
+      exchange_sigma_in();
+      double q;
+      std::uint64_t prop_sent_global;
+      if (opts_.overlap) {
+        // One combined reduction closes the iteration: modularity and the
+        // trace's propagation volume share a single collective round. The
+        // q sum visits ranks in ascending order, exactly like
+        // allreduce_sum, so the value is bitwise the phased one.
+        struct IterStats {
+          double q;
+          std::uint64_t prop_sent;
+        };
+        const auto stats = comm_.allreduce(
+            IterStats{local_modularity(), prop_sent},
+            [](const IterStats& a, const IterStats& b) {
+              return IterStats{a.q + b.q, a.prop_sent + b.prop_sent};
+            });
+        q = stats.q;
+        prop_sent_global = stats.prop_sent;
+      } else {
+        q = comm_.allreduce_sum(local_modularity());
+        prop_sent_global =
+            opts_.record_trace ? comm_.allreduce_sum(prop_sent) : 0;
+      }
 
       if (opts_.record_trace) {
         level.trace.moved_fraction.push_back(static_cast<double>(moved.moves) /
@@ -680,7 +845,7 @@ class RankEngine {
         level.trace.find_seconds.push_back(find_s);
         level.trace.update_seconds.push_back(update_s);
         level.trace.prop_seconds.push_back(prop_s);
-        level.trace.prop_records.push_back(comm_.allreduce_sum(prop_sent));
+        level.trace.prop_records.push_back(prop_sent_global);
       }
 
       // One stagnant iteration can just mean a low-ε round; require a
@@ -740,8 +905,13 @@ class RankEngine {
       assert(src != nullptr && dst != nullptr);
       agg.push(next_part.owner(*dst), EdgeMsg{*src, *dst, w});
     });
-    agg.flush_all();
-    comm_.drain_until_quiescent<EdgeMsg>([&](int /*src*/, std::span<const EdgeMsg> msgs) {
+    agg.flush_all_final();
+    // Ordered streaming drain: chunks are consumed as they arrive but
+    // applied in ascending source-rank order, so the next level's In_Table
+    // layout is arrival-timing independent (and identical across overlap
+    // modes and transports).
+    comm_.drain_streaming_finalized<EdgeMsg>([&](int /*src*/,
+                                                 std::span<const EdgeMsg> msgs) {
       for (const EdgeMsg& m : msgs) {
         next_in.insert_or_add(pack_key(m.src, m.dst), m.w);
       }
@@ -781,6 +951,11 @@ class RankEngine {
   std::vector<Move> moves_;
   int iters_since_rebuild_{0};
   std::uint64_t full_prop_records_{0};
+  // Accumulated fractional Out_Table turnover since the last full rebuild
+  // (Σ delta_records / full_prop_records); drives the adaptive rebuild
+  // trigger. Built from allreduced tallies only, so it is identical on
+  // every rank.
+  double drift_accum_{0.0};
 
   // Persistent propagation aggregator: its per-destination chunks are
   // reacquired from the pool across iterations and levels instead of
@@ -789,12 +964,26 @@ class RankEngine {
 
   FlatMap<CommInfo> comms_;        // owned communities
   FlatMap<SigmaRep> sigma_cache_;  // fetched Σtot + members
-  FlatMap<weight_t> sin_acc_;      // Σin pre-aggregation scratch
+  FlatMap<weight_t> sin_acc_;      // Σin pre-aggregation, carried forward
 
   // Σtot request bookkeeping (see the comment block above ref_add).
   FlatMap<std::uint32_t> comm_refs_;
   std::vector<std::vector<vid_t>> sigma_reqs_;
   std::vector<vid_t> refs_dirty_;
+
+  // Persistent per-iteration scratch (steady state allocates nothing):
+  // the σ-augmented best score, the positive-gain compaction, the gain
+  // histogram + its reduction scratch, and the streaming Σtot
+  // request/reply staging.
+  std::vector<double> best_score_;
+  std::vector<double> pos_gains_;
+  Histogram hist_{0.0, 0.0, 1};
+  std::vector<std::uint64_t> hist_scratch_;
+  std::vector<std::vector<vid_t>> req_in_;
+  std::vector<std::vector<SigmaRep>> replies_;
+  std::vector<std::size_t> reply_cursor_;
+  std::vector<std::vector<SinMsg>> sin_out_;
+  std::vector<std::vector<DeltaMsg>> delta_out_;
 
   PhaseTimers timers_;
 };
@@ -815,20 +1004,27 @@ ParResult run_levels(pml::Comm& comm, RankEngine& engine, vid_t n, const ParOpti
   }
   std::iota(result.final_labels.begin(), result.final_labels.end(), vid_t{0});
 
+  // All five TrafficStats fields reduce together in one collective round
+  // (they used to be five separate allreduces of skew per level).
+  const auto sum_traffic = [&comm](const TrafficStats& local) {
+    return comm.allreduce(local, [](const TrafficStats& a, const TrafficStats& b) {
+      return TrafficStats{a.records_sent + b.records_sent,
+                          a.records_received + b.records_received,
+                          a.bytes_sent + b.bytes_sent,
+                          a.chunks_sent + b.chunks_sent,
+                          a.collectives + b.collectives};
+    });
+  };
+
   double prev_q = -2.0;  // below any attainable modularity
   for (int level_idx = 0; level_idx < opts.max_levels; ++level_idx) {
     bool compressed = false;
     const TrafficStats level_start = comm.stats();
     LouvainLevel level = engine.run_level(compressed);
     // Per-level communication volume: this rank's delta over the level,
-    // summed across ranks. (The reductions below count toward the *next*
-    // level's delta — a fixed, rank-identical 5 collectives of skew.)
-    const TrafficStats delta = traffic_delta(comm.stats(), level_start);
-    level.traffic.records_sent = comm.allreduce_sum(delta.records_sent);
-    level.traffic.records_received = comm.allreduce_sum(delta.records_received);
-    level.traffic.bytes_sent = comm.allreduce_sum(delta.bytes_sent);
-    level.traffic.chunks_sent = comm.allreduce_sum(delta.chunks_sent);
-    level.traffic.collectives = comm.allreduce_sum(delta.collectives);
+    // summed across ranks. (The reduction below counts toward the *next*
+    // level's delta — one rank-identical collective of skew.)
+    level.traffic = sum_traffic(traffic_delta(comm.stats(), level_start));
 
     const bool improved = level.modularity - prev_q >= opts.q_tolerance;
     if (!improved && level_idx > 0) break;
@@ -850,13 +1046,7 @@ ParResult run_levels(pml::Comm& comm, RankEngine& engine, vid_t n, const ParOpti
   }
   result.timers = reduced;
 
-  pml::TrafficStats total;
-  total.records_sent = comm.allreduce_sum(comm.stats().records_sent);
-  total.records_received = comm.allreduce_sum(comm.stats().records_received);
-  total.bytes_sent = comm.allreduce_sum(comm.stats().bytes_sent);
-  total.chunks_sent = comm.allreduce_sum(comm.stats().chunks_sent);
-  total.collectives = comm.allreduce_sum(comm.stats().collectives);
-  result.traffic = total;
+  result.traffic = sum_traffic(comm.stats());
   result.rank_seconds = comm.allgather(busy.seconds());
   return result;
 }

@@ -37,6 +37,11 @@ inline constexpr int kRebuildEveryIteration = 1;
 /// rebuild still applies when the delta would be larger).
 inline constexpr int kNeverRebuild = 0;
 
+/// ParOptions::adaptive_rebuild_drift — disable the churn-driven rebuild
+/// trigger; only the fixed cadence and the traffic fallback schedule full
+/// rebuilds.
+inline constexpr double kAdaptiveRebuildOff = 0.0;
+
 /// The convergence heuristic's ε(iter) model (paper Section IV-B).
 enum class ThresholdModel {
   /// ε = p1 · e^(1 / (p2 · iter)): the paper's Eq. 7. For small p2 this
@@ -127,6 +132,25 @@ struct ParOptions {
   // DESIGN.md).
   int full_rebuild_every{16};
 
+  // Adaptive rebuild trigger: a full rebuild also fires when the
+  // accumulated delta churn since the last rebuild — Σ delta_records /
+  // full_prop_records, i.e. fractional Out_Table weight turnover — crosses
+  // this threshold. Rebuilds react to actual drift pressure instead of a
+  // blind iteration count; `full_rebuild_every` stays as the hard upper
+  // bound. Derived from allreduced tallies, so every rank fires on the
+  // same iteration. kAdaptiveRebuildOff (0) disables the trigger.
+  double adaptive_rebuild_drift{2.0};
+
+  // Overlapped refine pipeline (default): Σtot request/reply, move-delta
+  // and Σin exchanges ride the streaming fine-grained plane (no collective
+  // rendezvous; arrivals staged per source and applied in rank order, so
+  // results stay bit-identical), the stay-score initialization overlaps
+  // the Σtot wire time, the global move tally piggybacks on the delta
+  // exchange, and modularity + trace volume share one combined reduction.
+  // false restores the phased path — blocking collectives, separate
+  // reductions — as the A/B baseline.
+  bool overlap{true};
+
   // Resolution γ of generalized modularity (1 = Newman's Eq. 3). Larger
   // values favor more, smaller communities.
   double resolution{1.0};
@@ -185,6 +209,12 @@ struct ParOptions {
     if (full_rebuild_every < 0) {
       fail("full_rebuild_every must be >= 0, got " + std::to_string(full_rebuild_every) +
            " (kNeverRebuild = 0 ships deltas only, kRebuildEveryIteration = 1 always rebuilds)");
+    }
+    // Negated so NaN is rejected too.
+    if (!(adaptive_rebuild_drift >= 0.0)) {
+      fail("adaptive_rebuild_drift must be >= 0, got " +
+           std::to_string(adaptive_rebuild_drift) +
+           " (kAdaptiveRebuildOff = 0 disables the churn-driven rebuild trigger)");
     }
     if (!(resolution > 0.0) || !std::isfinite(resolution)) {
       fail("resolution must be a positive finite value, got " + std::to_string(resolution));

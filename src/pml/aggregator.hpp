@@ -100,6 +100,32 @@ class Aggregator {
     for (int d = 0; d < comm_.nranks(); ++d) flush(d);
   }
 
+  /// Ends the phase toward every destination in a single message each:
+  /// the last buffered chunk ships as a fused data+marker
+  /// (send_filled_final), and destinations with nothing buffered get a
+  /// pure marker — so the subsequent drain_streaming_finalized needs no
+  /// marker wave of its own. Nothing may be pushed after this until the
+  /// phase completes.
+  void flush_all_final() {
+    for (int d = 0; d < comm_.nranks(); ++d) {
+      Slot& s = slots_[static_cast<std::size_t>(d)];
+      const std::size_t bytes =
+          s.chunk != nullptr ? static_cast<std::size_t>(s.cur - s.chunk->raw()) : 0;
+      if (bytes == 0) {
+        if (s.chunk != nullptr) {
+          comm_.release_chunk(s.chunk);
+          s = Slot{};
+        }
+        comm_.send_marker(d);
+        continue;
+      }
+      Chunk* chunk = s.chunk;
+      s = Slot{};  // ownership transfers below, even on throw
+      chunk->set_size(bytes);
+      comm_.send_filled_final(d, chunk, bytes / sizeof(T));
+    }
+  }
+
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:

@@ -168,28 +168,38 @@ class Comm {
   }
 
   /// In-place element-wise sum of equal-length vectors across ranks
-  /// (used for the ΔQ̂ gain histograms).
+  /// (used for the ΔQ̂ gain histograms). The overload taking `scratch`
+  /// accumulates into that caller-owned buffer and swaps it in, so
+  /// steady-state callers (the per-iteration gain histogram) allocate
+  /// nothing; the single-argument form allocates a temporary accumulator.
   template <typename T>
   void allreduce_vec_sum(std::vector<T>& vec) {
+    std::vector<T> scratch;
+    allreduce_vec_sum(vec, scratch);
+  }
+
+  template <typename T>
+  void allreduce_vec_sum(std::vector<T>& vec, std::vector<T>& scratch) {
     static_assert(std::is_trivially_copyable_v<T>);
     ++stats_.collectives;
     broadcast_spans(vector_bytes(vec));
     struct Sink final : CollectiveSink {
       void deliver(int /*source*/, std::span<const std::byte> bytes) override {
-        assert(bytes.size() == acc.size() * sizeof(T));
-        for (std::size_t i = 0; i < acc.size(); ++i) {
+        assert(bytes.size() == acc->size() * sizeof(T));
+        for (std::size_t i = 0; i < acc->size(); ++i) {
           T v;
           std::memcpy(&v, bytes.data() + i * sizeof(T), sizeof(T));
-          acc[i] += v;
+          (*acc)[i] += v;
         }
       }
-      std::vector<T> acc;
+      std::vector<T>* acc{nullptr};
     } sink;
-    sink.acc.assign(vec.size(), T{});
+    scratch.assign(vec.size(), T{});
+    sink.acc = &scratch;
     transport_->alltoallv(spans_, sink);
     // alltoallv returns only after every rank finished reading the
     // published spans, so rewriting vec here is race-free.
-    vec = std::move(sink.acc);
+    std::swap(vec, scratch);
   }
 
   /// Gathers one value per rank, indexed by rank.
@@ -274,6 +284,78 @@ class Comm {
     return std::move(sink.incoming);
   }
 
+  /// Streaming all-to-all over the fine-grained plane: `outgoing[d]` goes
+  /// to rank d (like exchange()), but there is no collective rendezvous —
+  /// payloads ship as pooled chunks through the FIFO lanes and the phase
+  /// ends with the counted-termination marker protocol, so ranks enter and
+  /// leave independently. Between sending and draining, `overlap()` runs
+  /// on this rank — compute that does not depend on the arrivals (the
+  /// refine loop's stay-score initialization) executes while peer data is
+  /// in flight.
+  ///
+  /// Determinism contract: arrivals are staged per source rank and
+  /// `on_record(source, span<const T>)` is invoked in ascending source
+  /// order (FIFO within a source), exactly the order the blocking
+  /// exchange() delivers — so floating-point apply order, and therefore
+  /// every downstream artifact, is bit-identical to the blocking path.
+  /// The apply is progressive: source s's records are handed over as soon
+  /// as s's end-of-phase marker has arrived and sources 0..s-1 are done,
+  /// so receivers consume early senders while stragglers still transmit.
+  ///
+  /// on_record must not send. Records/bytes counters advance exactly as
+  /// exchange() would; no collective round is recorded.
+  ///
+  /// Wire shape: each remote destination receives exactly ONE chunk, a
+  /// fused data+marker (control=true, control_records=payload record
+  /// count, payload appended in the same node) — an empty lane
+  /// degenerates to a pure marker. Fusing the end-of-phase marker into
+  /// the data chunk halves the per-phase message count versus
+  /// data-then-marker, which is the dominant cost of small dense
+  /// exchanges (both backends ship the control flag and the payload in
+  /// one frame already). The self lane never touches the transport: the
+  /// drain applies it in rank order straight out of `outgoing[rank()]`,
+  /// so `outgoing` must stay alive and unmodified until the call returns
+  /// (exchange() requires the same). Markers stay uncounted in
+  /// TrafficStats; only payloads advance records/bytes.
+  template <typename T, typename OnRecord, typename OverlapWork>
+  void exchange_streaming(const std::vector<std::vector<T>>& outgoing,
+                          OnRecord&& on_record, OverlapWork&& overlap) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(static_cast<int>(outgoing.size()) == nranks());
+    for (int d = 0; d < nranks(); ++d) {
+      if (d == rank_) continue;
+      const auto& dest = outgoing[static_cast<std::size_t>(d)];
+      const std::size_t bytes = dest.size() * sizeof(T);
+      Chunk* chunk = transport_->acquire_chunk(bytes);
+      chunk->source = rank_;
+      chunk->epoch = epoch_;
+      chunk->control = true;
+      chunk->control_records = dest.size();
+      if (!dest.empty()) {
+        chunk->append(dest.data(), bytes);
+        stats_.records_sent += dest.size();
+        stats_.bytes_sent += bytes;
+        ++stats_.chunks_sent;
+      }
+      transport_->send(d, chunk);
+    }
+    const auto& self = outgoing[static_cast<std::size_t>(rank_)];
+    stats_.records_sent += self.size();
+    stats_.bytes_sent += self.size() * sizeof(T);
+    self_payload_ = {reinterpret_cast<const std::byte*>(self.data()),
+                     self.size() * sizeof(T)};
+    self_local_ = true;
+    std::forward<OverlapWork>(overlap)();
+    drain_streaming_impl<T>(std::forward<OnRecord>(on_record),
+                            /*send_markers=*/false);
+  }
+
+  template <typename T, typename OnRecord>
+  void exchange_streaming(const std::vector<std::vector<T>>& outgoing,
+                          OnRecord&& on_record) {
+    exchange_streaming<T>(outgoing, std::forward<OnRecord>(on_record), [] {});
+  }
+
   // ---------------------------------------------------------------------
   // Fine-grained messaging (active-message style). Senders usually go
   // through Aggregator (aggregator.hpp), which coalesces records straight
@@ -304,6 +386,41 @@ class Comm {
     stats_.bytes_sent += chunk->size();
     ++stats_.chunks_sent;
     transport_->send(dest, chunk);
+  }
+
+  /// send_filled variant that also ends the phase toward `dest`: the
+  /// chunk ships as a fused data+marker whose control_records covers
+  /// every record this rank sent `dest` this phase (this chunk included),
+  /// so the drain needs no separate marker message. The caller must not
+  /// send to `dest` again until the phase completes; pair with
+  /// drain_streaming_finalized (Aggregator::flush_all_final does both
+  /// halves of the send side).
+  void send_filled_final(int dest, Chunk* chunk, std::size_t count) {
+    assert(dest >= 0 && dest < nranks());
+    assert(chunk != nullptr && !chunk->control);
+    chunk->source = rank_;
+    chunk->epoch = epoch_;
+    chunk->control = true;
+    chunk->control_records = phase_sent_[static_cast<std::size_t>(dest)] + count;
+    phase_sent_[static_cast<std::size_t>(dest)] += count;
+    stats_.records_sent += count;
+    stats_.bytes_sent += chunk->size();
+    ++stats_.chunks_sent;
+    transport_->send(dest, chunk);
+  }
+
+  /// Pure end-of-phase marker toward one destination — the empty-lane
+  /// counterpart of send_filled_final for callers that finalize each
+  /// destination themselves instead of letting drain_streaming announce
+  /// the phase end to everyone.
+  void send_marker(int dest) {
+    assert(dest >= 0 && dest < nranks());
+    Chunk* marker = transport_->acquire_chunk(0);
+    marker->source = rank_;
+    marker->epoch = epoch_;
+    marker->control = true;
+    marker->control_records = phase_sent_[static_cast<std::size_t>(dest)];
+    transport_->send(dest, marker);
   }
 
   /// Copies `count` records of `record_size` bytes into a pooled chunk
@@ -346,6 +463,9 @@ class Comm {
         continue;
       }
       if (c->control) {
+        // Fused data+marker chunks are an exchange_streaming wire shape;
+        // SPMD phase alignment means they only ever drain via poll_staged.
+        assert(c->size() == 0);
         ++markers_seen_;
         expected_records_ += c->control_records;
         transport_->release_chunk(c);
@@ -385,14 +505,7 @@ class Comm {
   void drain_until_quiescent(Handler&& handler) {
     // Announce end-of-phase to every rank (self included): one control
     // marker carrying the number of records this rank sent them.
-    for (int d = 0; d < nranks(); ++d) {
-      Chunk* marker = transport_->acquire_chunk(0);
-      marker->source = rank_;
-      marker->epoch = epoch_;
-      marker->control = true;
-      marker->control_records = phase_sent_[static_cast<std::size_t>(d)];
-      transport_->send(d, marker);
-    }
+    for (int d = 0; d < nranks(); ++d) send_marker(d);
     poll<T>(handler);
     while (markers_seen_ < static_cast<std::uint64_t>(nranks())) {
       transport_->wait_incoming();
@@ -420,6 +533,96 @@ class Comm {
     transport_->trim_pool();
   }
 
+  /// Ordered-apply variant of drain_until_quiescent: the streaming side of
+  /// exchange_streaming, usable directly by callers that sent through
+  /// send_filled/send_chunk or an Aggregator. Arrivals are staged per
+  /// source and `on_record(source, span<const T>)` fires in ascending
+  /// source-rank order (FIFO within a source), progressively as each
+  /// source's marker lands — deterministic apply order with overlap where
+  /// the arrival schedule allows it. Same preconditions as
+  /// drain_until_quiescent (aggregators flushed, no sends until return).
+  template <typename T, typename OnRecord>
+  void drain_streaming(OnRecord&& on_record) {
+    drain_streaming_impl<T>(std::forward<OnRecord>(on_record),
+                            /*send_markers=*/true);
+  }
+
+  /// drain_streaming for callers that already ended the phase toward
+  /// every destination themselves (send_filled_final / send_marker per
+  /// dest — Aggregator::flush_all_final does exactly that): no marker
+  /// wave is sent here, the fused final chunks carry the counts.
+  template <typename T, typename OnRecord>
+  void drain_streaming_finalized(OnRecord&& on_record) {
+    drain_streaming_impl<T>(std::forward<OnRecord>(on_record),
+                            /*send_markers=*/false);
+  }
+
+ private:
+  /// Shared body of drain_streaming and exchange_streaming. With
+  /// send_markers, announces end-of-phase with one pure control chunk per
+  /// peer (the send_filled/send_chunk/Aggregator flow); without, the
+  /// caller already fused the marker into each destination's single data
+  /// chunk and no extra message is needed.
+  template <typename T, typename OnRecord>
+  void drain_streaming_impl(OnRecord&& on_record, bool send_markers) {
+    const auto P = static_cast<std::size_t>(nranks());
+    if (staged_.size() != P) staged_.resize(P);
+    marker_from_.assign(P, 0);
+    next_apply_ = 0;
+    if (self_local_) {
+      // The self lane was kept out of the transport: account for it as
+      // both an implicit marker and already-arrived records, so counted
+      // termination and TrafficStats match the chunk-borne path exactly.
+      marker_from_[static_cast<std::size_t>(rank_)] = 1;
+      ++markers_seen_;
+      const std::size_t n = self_payload_.size() / sizeof(T);
+      expected_records_ += n;
+      phase_received_ += n;
+      stats_.records_received += n;
+    }
+    if (send_markers) {
+      for (int d = 0; d < nranks(); ++d) send_marker(d);
+    }
+    try {
+      poll_staged(sizeof(T));
+      apply_ready_sources<T>(on_record);
+      while (markers_seen_ < static_cast<std::uint64_t>(nranks()) ||
+             next_apply_ < nranks()) {
+        if (markers_seen_ < static_cast<std::uint64_t>(nranks())) {
+          transport_->wait_incoming();
+          check_abort();
+        }
+        poll_staged(sizeof(T));
+        apply_ready_sources<T>(on_record);
+      }
+    } catch (...) {
+      for (auto& chunks : staged_) {
+        for (Chunk* c : chunks) transport_->release_chunk(c);
+        chunks.clear();
+      }
+      self_local_ = false;
+      self_payload_ = {};
+      throw;
+    }
+    self_local_ = false;
+    self_payload_ = {};
+    assert(phase_received_ == expected_records_);
+    if (phase_received_ != expected_records_ && detail::paranoid_checks_enabled()) {
+      throw std::runtime_error(
+          "pml: quiescence record-count mismatch on rank " + std::to_string(rank_) +
+          ": received " + std::to_string(phase_received_) + ", markers promised " +
+          std::to_string(expected_records_) + " (epoch " + std::to_string(epoch_) +
+          ", transport " + transport_->name() + ", streaming drain)");
+    }
+    ++epoch_;
+    markers_seen_ = 0;
+    expected_records_ = 0;
+    phase_received_ = 0;
+    std::fill(phase_sent_.begin(), phase_sent_.end(), 0);
+    transport_->trim_pool();
+  }
+
+ public:
   [[nodiscard]] const TrafficStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = TrafficStats{}; }
 
@@ -457,6 +660,90 @@ class Comm {
     std::vector<T> out;
   };
 
+  /// poll() twin for the streaming drain: data chunks are retained in
+  /// staged_[source] (arrival order = FIFO per source) instead of being
+  /// applied and released; markers additionally set the per-source flag
+  /// that gates the ordered progressive apply.
+  void poll_staged(std::size_t record_size) {
+    scratch_.clear();
+    if (!deferred_.empty()) {
+      std::size_t kept = 0;
+      for (Chunk* c : deferred_) {
+        if (c->epoch == epoch_) {
+          scratch_.push_back(c);
+        } else {
+          deferred_[kept++] = c;
+        }
+      }
+      deferred_.resize(kept);
+    }
+    transport_->drain(scratch_);
+    std::size_t records = 0;
+    for (Chunk* c : scratch_) {
+      if (c->epoch != epoch_) {
+        assert(c->epoch == epoch_ + 1);  // skew is bounded by one phase
+        deferred_.push_back(c);
+        continue;
+      }
+      if (c->control) {
+        ++markers_seen_;
+        expected_records_ += c->control_records;
+        marker_from_[static_cast<std::size_t>(c->source)] = 1;
+        // Fused data+marker (exchange_streaming's wire shape): the payload
+        // rides in the control chunk, so stage it like a data chunk
+        // instead of releasing the node.
+        if (c->size() == 0) {
+          transport_->release_chunk(c);
+          continue;
+        }
+      }
+      assert(c->size() % record_size == 0);
+      records += c->size() / record_size;
+      staged_[static_cast<std::size_t>(c->source)].push_back(c);
+    }
+    phase_received_ += records;
+    stats_.records_received += records;
+  }
+
+  /// Applies (and releases) the staged chunks of every source whose marker
+  /// has arrived and whose predecessors are all done — the in-order front
+  /// of the phase. FIFO delivery means a source's marker trails its data,
+  /// so a flagged source is complete.
+  template <typename T, typename OnRecord>
+  void apply_ready_sources(OnRecord&& on_record) {
+    while (next_apply_ < nranks() &&
+           marker_from_[static_cast<std::size_t>(next_apply_)] != 0) {
+      if (self_local_ && next_apply_ == rank_) {
+        // Zero-copy self lane: delivered straight from the caller's
+        // outgoing buffer, in its rank-order slot like any other source.
+        if (!self_payload_.empty()) {
+          on_record(rank_, std::span<const T>(
+                               reinterpret_cast<const T*>(self_payload_.data()),
+                               self_payload_.size() / sizeof(T)));
+        }
+        ++next_apply_;
+        continue;
+      }
+      auto& chunks = staged_[static_cast<std::size_t>(next_apply_)];
+      for (std::size_t i = 0; i < chunks.size(); ++i) {
+        Chunk* c = chunks[i];
+        const std::size_t n = c->size() / sizeof(T);
+        try {
+          on_record(next_apply_,
+                    std::span<const T>(reinterpret_cast<const T*>(c->data()), n));
+        } catch (...) {
+          // Drop what was already applied; the phase-level catch in
+          // drain_streaming releases the rest.
+          chunks.erase(chunks.begin(), chunks.begin() + static_cast<std::ptrdiff_t>(i));
+          throw;
+        }
+        transport_->release_chunk(c);
+      }
+      chunks.clear();
+      ++next_apply_;
+    }
+  }
+
   /// The same payload for every destination (allreduce/allgather shape).
   void broadcast_spans(std::span<const std::byte> payload) {
     spans_.assign(static_cast<std::size_t>(nranks()), payload);
@@ -479,6 +766,18 @@ class Comm {
   std::uint64_t markers_seen_{0};
   std::vector<Chunk*> deferred_;           // next-epoch chunks, held back
   std::vector<Chunk*> scratch_;            // drain buffer, reused across polls
+
+  // Streaming-drain staging: per-source chunk queues (FIFO), per-source
+  // marker flags, and the in-order apply cursor. Live only inside
+  // drain_streaming; buffers persist across phases to avoid reallocation.
+  std::vector<std::vector<Chunk*>> staged_;
+  std::vector<std::uint8_t> marker_from_;
+  int next_apply_{0};
+  // exchange_streaming's zero-copy self lane: a view into the caller's
+  // outgoing[rank()] buffer, applied in rank order without ever touching
+  // the transport. Valid only between send and drain completion.
+  std::span<const std::byte> self_payload_{};
+  bool self_local_{false};
 };
 
 /// Runs `body(Comm&)` on `nranks` ranks over the chosen transport and

@@ -21,7 +21,10 @@
 //   * send() preserves per-(source, destination) FIFO order, and a chunk
 //     handed to send() is owned by the transport afterwards. The
 //     quiescence protocol depends on data preceding its end-of-phase
-//     marker on each lane.
+//     marker on each lane. A control chunk may carry a payload (the
+//     streaming exchange fuses each lane's marker into its last data
+//     chunk): backends must ship the control flag, control_records, and
+//     the payload bytes of one chunk together.
 //   * barrier()/alltoallv()/wait_incoming() are abort points: once any
 //     rank raises the abort flag they wake and (the collectives) throw
 //     AbortedError instead of waiting on a dead peer.

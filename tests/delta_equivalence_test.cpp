@@ -145,6 +145,55 @@ TEST(DeltaEquivalence, FractionalWeightsDriftStaysBounded) {
   }
 }
 
+TEST(AdaptiveCadence, TrajectoryIsBitCompatibleAcrossDriftThresholds) {
+  // The churn-driven rebuild trigger only changes *when* full rebuilds
+  // happen, never what they compute: on integer-weight graphs every drift
+  // threshold must reproduce the rebuild-always trajectory bitwise.
+  const auto g = gen::lfr({.n = 1500, .mu = 0.3, .seed = 7});
+  const auto reference = louvain_parallel(g.edges, 1500, opts_with_cadence(1));
+  for (double drift : {kAdaptiveRebuildOff, 1e-9, 0.5, 8.0}) {
+    auto opts = opts_with_cadence(kNeverRebuild);
+    opts.adaptive_rebuild_drift = drift;
+    const auto r = louvain_parallel(g.edges, 1500, opts);
+    EXPECT_EQ(r.final_labels, reference.final_labels) << "drift " << drift;
+    EXPECT_NEAR(r.final_modularity, reference.final_modularity, 1e-12);
+  }
+}
+
+TEST(AdaptiveCadence, TrafficSitsBetweenPureDeltaAndAlwaysRebuild) {
+  // A mid drift threshold fires *some* rebuilds: more records than the
+  // trigger-off pure-delta run, fewer than rebuilding every iteration.
+  const auto g = gen::lfr({.n = 2000, .mu = 0.3, .seed = 53});
+  const auto always = louvain_parallel(g.edges, 2000, opts_with_cadence(1));
+  auto off_opts = opts_with_cadence(kNeverRebuild);
+  off_opts.adaptive_rebuild_drift = kAdaptiveRebuildOff;
+  const auto pure_delta = louvain_parallel(g.edges, 2000, off_opts);
+  auto mid_opts = opts_with_cadence(kNeverRebuild);
+  mid_opts.adaptive_rebuild_drift = 0.25;
+  const auto adaptive = louvain_parallel(g.edges, 2000, mid_opts);
+
+  ASSERT_EQ(adaptive.final_labels, always.final_labels);
+  EXPECT_GT(adaptive.traffic.records_sent, pure_delta.traffic.records_sent)
+      << "drift threshold 0.25 never fired a rebuild";
+  EXPECT_LT(adaptive.traffic.records_sent, always.traffic.records_sent)
+      << "drift threshold 0.25 rebuilt every iteration";
+}
+
+TEST(AdaptiveCadence, CounterStaysHardUpperBound) {
+  // An enormous drift threshold never fires, so the fixed cadence must
+  // still bound the time between rebuilds: cadence 4 with drift ∞ ships
+  // the same records as cadence 4 with the trigger off.
+  const auto g = gen::lfr({.n = 1500, .mu = 0.3, .seed = 7});
+  auto huge_opts = opts_with_cadence(4);
+  huge_opts.adaptive_rebuild_drift = 1e18;
+  auto off_opts = opts_with_cadence(4);
+  off_opts.adaptive_rebuild_drift = kAdaptiveRebuildOff;
+  const auto huge = louvain_parallel(g.edges, 1500, huge_opts);
+  const auto off = louvain_parallel(g.edges, 1500, off_opts);
+  EXPECT_EQ(huge.final_labels, off.final_labels);
+  EXPECT_EQ(huge.traffic.records_sent, off.traffic.records_sent);
+}
+
 TEST(DeltaTraffic, SteadyStateIterationsShipFarFewerRecords) {
   // The acceptance bar of the incremental path: once the first iteration's
   // mass migration is done, an all-iterations trace must show the delta

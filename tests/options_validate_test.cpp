@@ -105,6 +105,18 @@ TEST(OptionsValidate, RejectsNegativeRebuildCadence) {
   EXPECT_NO_THROW(opts.validate());
 }
 
+TEST(OptionsValidate, RejectsNegativeOrNanAdaptiveRebuildDrift) {
+  ParOptions opts;
+  opts.adaptive_rebuild_drift = -0.5;
+  expect_rejected(opts, "adaptive_rebuild_drift");
+  opts.adaptive_rebuild_drift = std::nan("");
+  expect_rejected(opts, "adaptive_rebuild_drift");
+  opts.adaptive_rebuild_drift = kAdaptiveRebuildOff;
+  EXPECT_NO_THROW(opts.validate());
+  opts.adaptive_rebuild_drift = 2.0;
+  EXPECT_NO_THROW(opts.validate());
+}
+
 TEST(OptionsValidate, RejectsNonFiniteResolution) {
   ParOptions opts;
   opts.resolution = 0.0;

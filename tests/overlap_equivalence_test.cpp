@@ -1,0 +1,160 @@
+// Overlap-mode determinism: the overlapped refine pipeline (streaming
+// exchanges, fused Σin scan, piggybacked move tally, merged reductions)
+// must produce bit-identical labels and modularity to the phased path,
+// on both transports. The streaming drain stages chunks per source and
+// applies them in ascending rank order, and the merged reductions fold
+// in the same rank order as the separate ones — so not just the answer
+// but every intermediate floating-point value matches.
+//
+// Traffic is deterministic too, with one *known* difference: overlap
+// replaces the MoveTally allreduce with P sentinel records per rank per
+// refine iteration (nranks² records globally per iteration), so
+// records_sent differs by exactly that overhead — asserted below — and
+// the collective-round count strictly drops (the point of the PR).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/louvain.hpp"
+#include "core/louvain_par.hpp"
+#include "gen/lfr.hpp"
+#include "transport_param.hpp"
+
+namespace plv {
+namespace {
+
+constexpr int kRanks = 4;
+
+class OverlapEquivalence : public ::testing::TestWithParam<pml::TransportKind> {
+ protected:
+  void SetUp() override { PLV_SKIP_IF_UNSUPPORTED(GetParam()); }
+
+ private:
+  pml::ScopedTransportEnv park_env_;
+};
+
+const graph::EdgeList& lfr_input() {
+  static const auto g = gen::lfr({.n = 2000, .mu = 0.3, .seed = 23});
+  return g.edges;
+}
+
+core::ParOptions opts_for(pml::TransportKind kind, bool overlap) {
+  core::ParOptions opts;
+  opts.nranks = kRanks;
+  opts.transport = kind;
+  opts.overlap = overlap;
+  return opts;
+}
+
+/// Sentinel records one level's refine loop ships in overlap mode: one
+/// DeltaMsg per (rank, peer) pair per iteration. The iteration count is
+/// read off the level trace (record_trace defaults on).
+std::uint64_t sentinel_records(const LouvainLevel& level) {
+  return static_cast<std::uint64_t>(level.trace.modularity.size()) *
+         static_cast<std::uint64_t>(kRanks) * static_cast<std::uint64_t>(kRanks);
+}
+
+void expect_equivalent(const Result& on, const Result& off) {
+  // Bitwise-equal, not nearly-equal: the two pipelines must execute the
+  // same arithmetic in the same order.
+  EXPECT_EQ(on.final_modularity, off.final_modularity);
+  EXPECT_EQ(on.final_labels, off.final_labels);
+  ASSERT_EQ(on.num_levels(), off.num_levels());
+  std::uint64_t total_sentinels = 0;
+  for (std::size_t l = 0; l < on.num_levels(); ++l) {
+    EXPECT_EQ(on.levels[l].labels, off.levels[l].labels) << "level " << l;
+    EXPECT_EQ(on.levels[l].modularity, off.levels[l].modularity) << "level " << l;
+    ASSERT_EQ(on.levels[l].trace.modularity.size(),
+              off.levels[l].trace.modularity.size())
+        << "level " << l;
+    // Per-iteration trace values are bitwise artifacts of the pipeline
+    // too: cutoffs, per-iteration Q, and propagation volume must match.
+    EXPECT_EQ(on.levels[l].trace.modularity, off.levels[l].trace.modularity)
+        << "level " << l;
+    EXPECT_EQ(on.levels[l].trace.gain_cutoff, off.levels[l].trace.gain_cutoff)
+        << "level " << l;
+    EXPECT_EQ(on.levels[l].trace.prop_records, off.levels[l].trace.prop_records)
+        << "level " << l;
+    // Traffic differs only by the piggybacked tally sentinels.
+    const std::uint64_t sentinels = sentinel_records(on.levels[l]);
+    total_sentinels += sentinels;
+    EXPECT_EQ(on.levels[l].traffic.records_sent,
+              off.levels[l].traffic.records_sent + sentinels)
+        << "level " << l;
+    EXPECT_EQ(on.levels[l].traffic.records_received,
+              off.levels[l].traffic.records_received + sentinels)
+        << "level " << l;
+    // Fewer collective rounds is the PR's reason to exist.
+    EXPECT_LT(on.levels[l].traffic.collectives, off.levels[l].traffic.collectives)
+        << "level " << l;
+  }
+  // The run total includes the final, discarded level (run_levels drops a
+  // level that failed to improve, but its traffic was still spent), whose
+  // iteration count is not in the result — so the total difference is the
+  // recorded sentinels plus whole iterations' worth from that level.
+  ASSERT_GE(on.traffic.records_sent, off.traffic.records_sent);
+  const std::uint64_t diff = on.traffic.records_sent - off.traffic.records_sent;
+  EXPECT_GE(diff, total_sentinels);
+  EXPECT_EQ(diff % (static_cast<std::uint64_t>(kRanks) * kRanks), 0u);
+  EXPECT_LT(on.traffic.collectives, off.traffic.collectives);
+}
+
+TEST_P(OverlapEquivalence, ColdStartIsBitIdentical) {
+  const auto on = louvain(GraphSource::from_edges(lfr_input()),
+                          opts_for(GetParam(), /*overlap=*/true));
+  const auto off = louvain(GraphSource::from_edges(lfr_input()),
+                           opts_for(GetParam(), /*overlap=*/false));
+  expect_equivalent(on, off);
+}
+
+TEST_P(OverlapEquivalence, WarmStartIsBitIdentical) {
+  const auto seed_run = louvain(GraphSource::from_edges(lfr_input()),
+                                opts_for(GetParam(), /*overlap=*/true));
+  const auto on =
+      louvain(GraphSource::from_edges_warm(lfr_input(), seed_run.final_labels),
+              opts_for(GetParam(), /*overlap=*/true));
+  const auto off =
+      louvain(GraphSource::from_edges_warm(lfr_input(), seed_run.final_labels),
+              opts_for(GetParam(), /*overlap=*/false));
+  expect_equivalent(on, off);
+}
+
+// The delta-maintenance ablation must stay bit-identical under overlap:
+// the carried Σin and the piggybacked tally interact with both the
+// always-rebuild and the never-rebuild cadence.
+TEST_P(OverlapEquivalence, RebuildCadenceExtremesAreBitIdentical) {
+  for (const int cadence :
+       {core::kRebuildEveryIteration, core::kNeverRebuild}) {
+    auto on_opts = opts_for(GetParam(), /*overlap=*/true);
+    auto off_opts = opts_for(GetParam(), /*overlap=*/false);
+    on_opts.full_rebuild_every = off_opts.full_rebuild_every = cadence;
+    const auto on = louvain(GraphSource::from_edges(lfr_input()), on_opts);
+    const auto off = louvain(GraphSource::from_edges(lfr_input()), off_opts);
+    expect_equivalent(on, off);
+  }
+}
+
+// The phased path must also stay transport-independent (the default-on
+// overlap path is pinned by transport_equivalence_test).
+TEST(OverlapEquivalenceCross, PhasedPathIsTransportIndependent) {
+  PLV_SKIP_IF_UNSUPPORTED(pml::TransportKind::kProc);
+  pml::ScopedTransportEnv park_env;
+  const auto thread_r =
+      louvain(GraphSource::from_edges(lfr_input()),
+              opts_for(pml::TransportKind::kThread, /*overlap=*/false));
+  const auto proc_r =
+      louvain(GraphSource::from_edges(lfr_input()),
+              opts_for(pml::TransportKind::kProc, /*overlap=*/false));
+  EXPECT_EQ(thread_r.final_modularity, proc_r.final_modularity);
+  EXPECT_EQ(thread_r.final_labels, proc_r.final_labels);
+  EXPECT_EQ(thread_r.traffic.records_sent, proc_r.traffic.records_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, OverlapEquivalence,
+                         ::testing::ValuesIn(pml::kAllTransports),
+                         [](const auto& info) {
+                           return pml::transport_test_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace plv

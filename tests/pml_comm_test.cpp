@@ -176,6 +176,123 @@ TEST_P(CommTest, FineGrainedSendAndQuiescence) {
   });
 }
 
+TEST_P(CommTest, ExchangeStreamingMatchesExchange) {
+  const int n = nranks();
+  run([&](Comm& comm) {
+    // Same routing contract as exchange(): rank r sends r*100+d to each
+    // destination d; records arrive grouped per source, sources applied
+    // in ascending rank order.
+    std::vector<std::vector<int>> outgoing(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      outgoing[static_cast<std::size_t>(d)].push_back(comm.rank() * 100 + d);
+    }
+    std::vector<int> sources;
+    std::vector<int> values;
+    comm.exchange_streaming<int>(outgoing, [&](int src, std::span<const int> vals) {
+      for (int v : vals) {
+        sources.push_back(src);
+        values.push_back(v);
+      }
+    });
+    PLV_RANK_CHECK_EQ(values.size(), static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      PLV_RANK_CHECK_EQ(sources[static_cast<std::size_t>(s)], s);
+      PLV_RANK_CHECK_EQ(values[static_cast<std::size_t>(s)], s * 100 + comm.rank());
+    }
+  });
+}
+
+TEST_P(CommTest, ExchangeStreamingRunsOverlapWorkBeforeDrain) {
+  const int n = nranks();
+  run([&](Comm& comm) {
+    std::vector<std::vector<int>> outgoing(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) outgoing[static_cast<std::size_t>(d)] = {comm.rank()};
+    bool overlap_ran = false;
+    bool record_seen_before_overlap = false;
+    comm.exchange_streaming<int>(
+        outgoing,
+        [&](int /*src*/, std::span<const int> /*vals*/) {
+          if (!overlap_ran) record_seen_before_overlap = true;
+        },
+        [&] { overlap_ran = true; });
+    PLV_RANK_CHECK(overlap_ran);
+    PLV_RANK_CHECK(!record_seen_before_overlap);
+  });
+}
+
+TEST_P(CommTest, ExchangeStreamingHandlesEmptyAndSkewedLoads) {
+  const int n = nranks();
+  run([&](Comm& comm) {
+    // Only rank 0 sends, and only to the highest rank — every other
+    // (source, dest) lane is empty, exercising the no-data marker path.
+    std::vector<std::vector<std::uint64_t>> outgoing(static_cast<std::size_t>(n));
+    if (comm.rank() == 0) {
+      outgoing[static_cast<std::size_t>(n - 1)] = {7, 8, 9};
+    }
+    std::uint64_t sum = 0;
+    comm.exchange_streaming<std::uint64_t>(
+        outgoing, [&](int src, std::span<const std::uint64_t> vals) {
+          PLV_RANK_CHECK_EQ(src, 0);
+          for (auto v : vals) sum += v;
+        });
+    PLV_RANK_CHECK_EQ(sum, comm.rank() == n - 1 ? 24u : 0u);
+  });
+}
+
+TEST_P(CommTest, StreamingDrainAppliesSourcesInRankOrderAcrossChunks) {
+  const int n = nranks();
+  run([&](Comm& comm) {
+    // Several chunks per (source, dest) lane: the drain must preserve
+    // FIFO within a source and ascending order across sources even when
+    // chunks from a later source arrive first.
+    for (int round = 0; round < 3; ++round) {
+      for (int d = 0; d < n; ++d) {
+        const int value = comm.rank() * 10 + round;
+        comm.send_chunk(d, &value, sizeof value, 1);
+      }
+    }
+    std::vector<int> seen;
+    comm.drain_streaming<int>([&](int /*src*/, std::span<const int> vals) {
+      seen.insert(seen.end(), vals.begin(), vals.end());
+    });
+    PLV_RANK_CHECK_EQ(seen.size(), static_cast<std::size_t>(n) * 3);
+    for (int s = 0; s < n; ++s) {
+      for (int round = 0; round < 3; ++round) {
+        PLV_RANK_CHECK_EQ(seen[static_cast<std::size_t>(s * 3 + round)],
+                          s * 10 + round);
+      }
+    }
+  });
+}
+
+TEST_P(CommTest, StreamingDrainMatchesQuiescentDrainTotals) {
+  const int n = nranks();
+  run([&](Comm& comm) {
+    // Back-to-back phases over the same Comm: a streaming drain followed
+    // by a classic quiescent drain — epochs must stay aligned and both
+    // must deliver every record exactly once.
+    for (int phase = 0; phase < 2; ++phase) {
+      for (int d = 0; d < n; ++d) {
+        const int value = comm.rank() + phase * 1000;
+        comm.send_chunk(d, &value, sizeof value, 1);
+      }
+      std::uint64_t sum = 0;
+      const auto handler = [&](int /*src*/, std::span<const int> vals) {
+        for (int v : vals) sum += static_cast<std::uint64_t>(v);
+      };
+      if (phase == 0) {
+        comm.drain_streaming<int>(handler);
+      } else {
+        comm.drain_until_quiescent<int>(handler);
+      }
+      const std::uint64_t expect =
+          static_cast<std::uint64_t>(n) * (n - 1) / 2 +
+          static_cast<std::uint64_t>(phase) * 1000 * static_cast<std::uint64_t>(n);
+      PLV_RANK_CHECK_EQ(sum, expect);
+    }
+  });
+}
+
 TEST_P(CommTest, TrafficCountersTrackExchange) {
   const int n = nranks();
   run([&](Comm& comm) {

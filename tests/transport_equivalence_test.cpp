@@ -20,20 +20,10 @@ namespace {
 // binary-wide) must be parked for the duration of each test.
 class TransportEquivalence : public ::testing::Test {
  protected:
-  void SetUp() override {
-    PLV_SKIP_IF_UNSUPPORTED(pml::TransportKind::kProc);
-    const char* value = std::getenv("PLV_TRANSPORT");
-    if (value != nullptr) saved_ = value;
-    had_env_ = value != nullptr;
-    unsetenv("PLV_TRANSPORT");
-  }
-  void TearDown() override {
-    if (had_env_) setenv("PLV_TRANSPORT", saved_.c_str(), 1);
-  }
+  void SetUp() override { PLV_SKIP_IF_UNSUPPORTED(pml::TransportKind::kProc); }
 
  private:
-  bool had_env_{false};
-  std::string saved_;
+  pml::ScopedTransportEnv park_env_;
 };
 
 const graph::EdgeList& lfr_input() {

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -24,6 +25,30 @@
 #include "pml/transport.hpp"
 
 namespace plv::pml {
+
+/// Parks any inherited PLV_TRANSPORT for the lifetime of the object and
+/// restores it on destruction. Tests that pass explicit transports
+/// through ParOptions need this: the CI proc legs export PLV_TRANSPORT
+/// binary-wide, and resolve_transport lets the environment win over the
+/// options value.
+class ScopedTransportEnv {
+ public:
+  ScopedTransportEnv() {
+    const char* value = std::getenv("PLV_TRANSPORT");
+    had_env_ = value != nullptr;
+    if (had_env_) saved_ = value;
+    unsetenv("PLV_TRANSPORT");
+  }
+  ~ScopedTransportEnv() {
+    if (had_env_) setenv("PLV_TRANSPORT", saved_.c_str(), 1);
+  }
+  ScopedTransportEnv(const ScopedTransportEnv&) = delete;
+  ScopedTransportEnv& operator=(const ScopedTransportEnv&) = delete;
+
+ private:
+  bool had_env_{false};
+  std::string saved_;
+};
 
 /// Every backend a parameterized suite should cover.
 inline constexpr TransportKind kAllTransports[] = {TransportKind::kThread,
