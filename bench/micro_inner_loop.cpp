@@ -14,6 +14,7 @@
 // (total propagation records shipped by all ranks).
 #include <benchmark/benchmark.h>
 
+#include "bench_context.hpp"
 #include "core/louvain_par.hpp"
 #include "gen/lfr.hpp"
 
@@ -126,11 +127,10 @@ BENCHMARK(BM_OverlapAB)
 // Custom main instead of benchmark_main: stamp the pml transport into the
 // benchmark context so published JSON records which backend carried the run.
 int main(int argc, char** argv) {
+  const bool machine_output = plv::bench::wants_machine_output(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::AddCustomContext(
-      "transport", plv::pml::transport_kind_name(
-                       plv::pml::resolve_transport(plv::pml::TransportKind::kThread)));
+  if (!plv::bench::stamp_context_and_gate(machine_output)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

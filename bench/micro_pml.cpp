@@ -13,6 +13,7 @@
 // spin-up is amortized across the phase batch.
 #include <benchmark/benchmark.h>
 
+#include "bench_context.hpp"
 #include "pml/aggregator.hpp"
 #include "pml/comm.hpp"
 
@@ -119,14 +120,15 @@ BENCHMARK(BM_AggregatorThroughput)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
 
 }  // namespace
 
-// Custom main instead of benchmark_main: stamp the pml transport into the
-// benchmark context so published JSON records which backend carried the run.
+// Custom main instead of benchmark_main: stamp transport + validation +
+// sanitizer into the benchmark context, and refuse machine-readable output
+// when the protocol checker or a sanitizer would taint the numbers
+// (bench_context.hpp).
 int main(int argc, char** argv) {
+  const bool machine_output = plv::bench::wants_machine_output(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::AddCustomContext(
-      "transport", plv::pml::transport_kind_name(
-                       plv::pml::resolve_transport(plv::pml::TransportKind::kThread)));
+  if (!plv::bench::stamp_context_and_gate(machine_output)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -50,11 +50,12 @@ int usage() {
       "  stats  --graph FILE\n"
       "  detect --graph FILE [--engine par|seq|lp] [--ranks N]\n"
       "         [--transport thread|proc] [--resolution G]\n"
-      "         [--out FILE] [--tree FILE] [--warm FILE]\n"
+      "         [--validate] [--out FILE] [--tree FILE] [--warm FILE]\n"
       "  bfs    --graph FILE --root R [--ranks N] [--transport thread|proc]\n"
       "  cc     --graph FILE [--ranks N] [--transport thread|proc]\n"
       "  sssp   --graph FILE --root R [--ranks N] [--transport thread|proc]\n"
-      "The PLV_TRANSPORT environment variable overrides --transport.\n";
+      "The PLV_TRANSPORT environment variable overrides --transport;\n"
+      "PLV_VALIDATE (or PLV_PARANOID) overrides --validate.\n";
   return 2;
 }
 
@@ -69,6 +70,10 @@ plv::core::ParOptions par_opts(const plv::Cli& cli) {
   opts.nranks = static_cast<int>(cli.get_int("ranks", 4));
   opts.resolution = cli.get_double("resolution", 1.0);
   opts.transport = plv::pml::parse_transport_kind(cli.get_string("transport", "thread"));
+  // --validate turns the pml protocol checker on even in optimized
+  // builds; Debug builds default to on regardless (PLV_VALIDATE=0 turns
+  // it off either way — the env wins inside the core front doors).
+  opts.validate_transport = cli.get_bool("validate", opts.validate_transport);
   return opts;
 }
 

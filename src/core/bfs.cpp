@@ -119,7 +119,8 @@ BfsResult bfs_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t roo
           result = std::move(local);
         }
       },
-      pml::resolve_transport(opts.transport));
+      pml::resolve_transport(opts.transport),
+      pml::resolve_validate(opts.validate_transport));
   return result;
 }
 

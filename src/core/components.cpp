@@ -103,7 +103,8 @@ ComponentsResult connected_components_parallel(const graph::EdgeList& edges,
           result = std::move(local);
         }
       },
-      pml::resolve_transport(opts.transport));
+      pml::resolve_transport(opts.transport),
+      pml::resolve_validate(opts.validate_transport));
   return result;
 }
 

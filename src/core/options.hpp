@@ -11,6 +11,7 @@
 #include "graph/partition.hpp"
 #include "hashing/hash_fns.hpp"
 #include "pml/transport.hpp"
+#include "pml/transport_check.hpp"
 
 namespace plv::core {
 
@@ -89,6 +90,19 @@ struct ParOptions {
   // pml::resolve_transport — which all core front doors do. Results are
   // bit-identical across backends for fixed seeds.
   pml::TransportKind transport{pml::TransportKind::kThread};
+
+  // Protocol verification: wrap every rank's transport in the
+  // ValidatingTransport state-machine checker (pml/transport_check.hpp),
+  // which enforces marker ordering, epoch contiguity, quiescence byte
+  // conservation, chunk-pool ownership, and collective rank order —
+  // throwing ProtocolError on the first violation. Defaults on in Debug
+  // builds and off in optimized builds; the PLV_VALIDATE (or legacy
+  // PLV_PARANOID) environment variable overrides this for every entry
+  // point that calls pml::resolve_validate — which all core front doors
+  // do. Costs one extra virtual hop plus a hash update per chunk; keep it
+  // off for published benchmark numbers (the benches refuse to publish
+  // otherwise).
+  bool validate_transport{pml::kValidateTransportDefault};
 
   // Convergence. The inner loop stops on zero moves or after
   // `stagnation_window` consecutive iterations with < q_tolerance

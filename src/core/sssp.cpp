@@ -4,7 +4,6 @@
 #include <limits>
 #include <queue>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "graph/partition.hpp"
 #include "pml/aggregator.hpp"
@@ -165,7 +164,8 @@ SsspResult sssp_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t r
           result = std::move(local);
         }
       },
-      pml::resolve_transport(opts.transport));
+      pml::resolve_transport(opts.transport),
+      pml::resolve_validate(opts.validate_transport));
   return result;
 }
 

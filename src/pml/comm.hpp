@@ -30,8 +30,10 @@
 // spinning — until it has seen all nranks markers. Because delivery is
 // FIFO per producer, a sender's data always precedes its marker, so "all
 // markers seen" implies "all records delivered"; the received total is
-// asserted against the marker counts in debug builds (and in Release when
-// PLV_PARANOID=1, as a thrown error). No barrier or allreduce is
+// checked against the marker counts — thrown as ProtocolError when
+// protocol validation is on (transport_check.hpp: Debug default, or
+// PLV_VALIDATE=1 / PLV_PARANOID=1), a debug assert otherwise. No barrier
+// or allreduce is
 // involved: ranks leave the phase independently, and chunks from a
 // neighbour that has already raced into the next epoch are deferred
 // (never mis-delivered) until this rank's epoch catches up. Phase skew
@@ -69,28 +71,13 @@
 #include "common/traffic.hpp"
 #include "pml/mailbox.hpp"
 #include "pml/transport.hpp"
+#include "pml/transport_check.hpp"
 #include "pml/transport_proc.hpp"
 #include "pml/transport_thread.hpp"
 
 namespace plv::pml {
 
 using plv::TrafficStats;
-
-namespace detail {
-
-/// PLV_PARANOID=1 promotes the quiescence record-count invariant from a
-/// debug assert to a thrown error in Release builds, so transport bugs
-/// surface outside Debug CI. Read once; flipping the env mid-run is not a
-/// supported use.
-[[nodiscard]] inline bool paranoid_checks_enabled() noexcept {
-  static const bool enabled = [] {
-    const char* env = std::getenv("PLV_PARANOID");
-    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
-  }();
-  return enabled;
-}
-
-}  // namespace detail
 
 /// Per-rank communicator handle. All methods must be called from the
 /// owning rank only (there is no remote access; senders go through the
@@ -101,6 +88,13 @@ class Comm {
   explicit Comm(Transport& transport)
       : transport_(&transport),
         rank_(transport.rank()),
+        // The typed quiescence count check (the one invariant the seam-level
+        // checker cannot verify exactly, not knowing sizeof(T)) throws
+        // whenever protocol validation is on — via the environment knobs or
+        // because the transport underneath is already a ValidatingTransport.
+        quiescence_enforced_(
+            resolve_validate(false) ||
+            dynamic_cast<const ValidatingTransport*>(&transport) != nullptr),
         phase_sent_(static_cast<std::size_t>(transport.nranks()), 0) {}
 
   Comm(const Comm&) = delete;
@@ -272,6 +266,7 @@ class Comm {
     }
     struct Sink final : CollectiveSink {
       void deliver(int source, std::span<const std::byte> bytes) override {
+        if (bytes.empty()) return;  // empty lane: data() may be null (UB in memcpy)
         auto& dst = incoming[static_cast<std::size_t>(source)];
         dst.resize(bytes.size() / sizeof(T));
         std::memcpy(dst.data(), bytes.data(), bytes.size());
@@ -513,16 +508,12 @@ class Comm {
       poll<T>(handler);
     }
     // FIFO-per-producer delivery means data precedes markers, so seeing
-    // every marker implies having every record. Checked always in Debug;
-    // in Release only under PLV_PARANOID=1 (transport soak runs).
-    assert(phase_received_ == expected_records_);
-    if (phase_received_ != expected_records_ && detail::paranoid_checks_enabled()) {
-      throw std::runtime_error(
-          "pml: quiescence record-count mismatch on rank " + std::to_string(rank_) +
-          ": received " + std::to_string(phase_received_) + ", markers promised " +
-          std::to_string(expected_records_) + " (epoch " + std::to_string(epoch_) +
-          ", transport " + transport_->name() + ")");
-    }
+    // every marker implies having every record. Thrown as ProtocolError
+    // whenever validation is on (Debug default; PLV_VALIDATE/PLV_PARANOID
+    // in Release); a Debug assert otherwise.
+    detail::check_quiescence_conservation(quiescence_enforced_, rank_, epoch_,
+                                          phase_received_, expected_records_,
+                                          transport_->name(), /*streaming=*/false);
     ++epoch_;
     markers_seen_ = 0;
     expected_records_ = 0;
@@ -606,14 +597,9 @@ class Comm {
     }
     self_local_ = false;
     self_payload_ = {};
-    assert(phase_received_ == expected_records_);
-    if (phase_received_ != expected_records_ && detail::paranoid_checks_enabled()) {
-      throw std::runtime_error(
-          "pml: quiescence record-count mismatch on rank " + std::to_string(rank_) +
-          ": received " + std::to_string(phase_received_) + ", markers promised " +
-          std::to_string(expected_records_) + " (epoch " + std::to_string(epoch_) +
-          ", transport " + transport_->name() + ", streaming drain)");
-    }
+    detail::check_quiescence_conservation(quiescence_enforced_, rank_, epoch_,
+                                          phase_received_, expected_records_,
+                                          transport_->name(), /*streaming=*/true);
     ++epoch_;
     markers_seen_ = 0;
     expected_records_ = 0;
@@ -652,6 +638,7 @@ class Comm {
   struct AppendSink final : CollectiveSink {
     void total_hint(std::size_t bytes) override { out.reserve(bytes / sizeof(T)); }
     void deliver(int /*source*/, std::span<const std::byte> bytes) override {
+      if (bytes.empty()) return;  // empty lane: data() may be null (UB in memcpy)
       assert(bytes.size() % sizeof(T) == 0);
       const std::size_t old = out.size();
       out.resize(old + bytes.size() / sizeof(T));
@@ -755,6 +742,9 @@ class Comm {
 
   Transport* transport_;
   int rank_;
+  // Whether the quiescence count mismatch throws (validation on) instead
+  // of the historical Debug assert. Fixed at construction.
+  bool quiescence_enforced_;
   TrafficStats stats_;
   std::vector<std::span<const std::byte>> spans_;  // per-collective scratch
 
@@ -789,37 +779,63 @@ class Comm {
 /// caller (child-process failures as RemoteRankError).
 class Runtime {
  public:
-  /// Default entry: thread backend unless PLV_TRANSPORT overrides.
+  /// Default entry: thread backend unless PLV_TRANSPORT overrides;
+  /// protocol validation per build default unless PLV_VALIDATE /
+  /// PLV_PARANOID override.
   static void run(int nranks, const std::function<void(Comm&)>& body) {
     run(nranks, body, resolve_transport(TransportKind::kThread));
   }
 
-  /// Explicit-backend entry (no environment resolution — callers that
-  /// honor PLV_TRANSPORT apply resolve_transport() themselves).
+  /// Explicit-backend entry (no transport environment resolution — callers
+  /// that honor PLV_TRANSPORT apply resolve_transport() themselves).
+  /// Validation still follows the build default + environment.
   static void run(int nranks, const std::function<void(Comm&)>& body,
                   TransportKind kind) {
+    run(nranks, body, kind, resolve_validate(kValidateTransportDefault));
+  }
+
+  /// Fully explicit entry: no environment resolution on either knob
+  /// (callers apply resolve_transport/resolve_validate themselves). With
+  /// `validate`, every rank's transport is wrapped in a ValidatingTransport
+  /// (transport_check.hpp) and finalized — goodbye checks included — after
+  /// a clean body return; a ProtocolError fails the run like any rank
+  /// exception.
+  static void run(int nranks, const std::function<void(Comm&)>& body,
+                  TransportKind kind, bool validate) {
     if (nranks <= 0) throw std::invalid_argument("Runtime: nranks must be positive");
     if (kind == TransportKind::kProc) {
-      detail::run_proc_ranks(nranks, body);
+      detail::run_proc_ranks(nranks, body, validate);
       return;
     }
-    run_threads(nranks, body);
+    run_threads(nranks, body, validate);
   }
 
  private:
-  static void run_threads(int nranks, const std::function<void(Comm&)>& body) {
+  static void run_threads(int nranks, const std::function<void(Comm&)>& body,
+                          bool validate) {
     detail::ThreadShared state(nranks);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nranks));
     std::exception_ptr first_error;
     std::mutex error_mutex;
     for (int r = 0; r < nranks; ++r) {
-      threads.emplace_back([&state, &body, &first_error, &error_mutex, r] {
+      threads.emplace_back([&state, &body, &first_error, &error_mutex, validate, r] {
         ThreadTransport transport(&state, r);
-        Comm comm(transport);
         bool failed = false;
         try {
-          body(comm);
+          if (validate) {
+            ValidatingTransport checked(transport);
+            {
+              Comm comm(checked);
+              body(comm);
+            }
+            // Goodbye transition after the Comm destructor released its
+            // deferred chunks; leaks and post-goodbye traffic throw.
+            checked.finalize();
+          } else {
+            Comm comm(transport);
+            body(comm);
+          }
         } catch (const AbortedError&) {
           failed = true;  // peer-induced: the originating rank records the cause
         } catch (...) {

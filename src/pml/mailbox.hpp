@@ -67,6 +67,7 @@ class Chunk {
 
   /// Appends raw bytes; grows geometrically if the reservation was short.
   void append(const void* data, std::size_t bytes) {
+    if (bytes == 0) return;  // empty source may be a null pointer (UB in memcpy)
     if (used_ + bytes > capacity_) {
       std::size_t grown = capacity_ == 0 ? 64 : capacity_ * 2;
       if (grown < used_ + bytes) grown = used_ + bytes;

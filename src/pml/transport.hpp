@@ -102,7 +102,10 @@ class Transport {
   /// Chunk nodes come from this rank's pool; see mailbox.hpp for the
   /// zero-copy recycling discipline.
   [[nodiscard]] virtual Chunk* acquire_chunk(std::size_t reserve_bytes) = 0;
-  virtual void release_chunk(Chunk* chunk) noexcept = 0;
+  /// Not noexcept at the seam: concrete backends never throw (and declare
+  /// their overrides noexcept), but the ValidatingTransport decorator
+  /// throws ProtocolError on a double release.
+  virtual void release_chunk(Chunk* chunk) = 0;
 
   /// Queues `chunk` for delivery to rank `dest` (FIFO per source-dest
   /// pair; self-sends allowed). Ownership transfers to the transport at
@@ -123,7 +126,10 @@ class Transport {
 
   // -- Chunk-pool controls (phase-boundary hygiene) -----------------------
   virtual void set_pool_watermark(std::size_t nodes) noexcept = 0;
-  virtual void trim_pool() noexcept = 0;
+  /// Called by Comm at fine-grained phase boundaries. Backends are
+  /// noexcept; the ValidatingTransport decorator additionally audits
+  /// chunk ownership here and throws ProtocolError on a leak.
+  virtual void trim_pool() = 0;
   [[nodiscard]] virtual std::size_t pool_free_count() const noexcept = 0;
 };
 

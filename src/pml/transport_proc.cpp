@@ -65,6 +65,7 @@
 #include "pml/comm.hpp"
 #include "pml/mailbox.hpp"
 #include "pml/transport.hpp"
+#include "pml/transport_check.hpp"
 
 namespace plv::pml::detail {
 namespace {
@@ -123,8 +124,13 @@ class ProcTransport final : public Transport {
   }
 
   ~ProcTransport() override {
-    for (Chunk* c : incoming_) delete c;
-    for (auto& rx : rx_) delete rx.chunk;
+    // Chunks stranded by an aborted run go back to the pool, whose
+    // destructor frees the whole list (keeps every node death on the
+    // pool API; the repo lint flags raw deletes of chunk nodes).
+    for (Chunk* c : incoming_) pool_.release(c);
+    for (auto& rx : rx_) {
+      if (rx.chunk != nullptr) pool_.release(rx.chunk);
+    }
     for (int r = 0; r < nranks_; ++r) {
       const int fd = fds_[static_cast<std::size_t>(r)];
       if (r != rank_ && fd >= 0) ::close(fd);
@@ -311,7 +317,7 @@ class ProcTransport final : public Transport {
     PeerRx& rx = rx_[static_cast<std::size_t>(r)];
     if (!rx.open) return;
     rx.open = false;
-    delete rx.chunk;
+    if (rx.chunk != nullptr) pool_.release(rx.chunk);  // half-received frame
     rx.chunk = nullptr;
     ::close(fds_[static_cast<std::size_t>(r)]);
     fds_[static_cast<std::size_t>(r)] = -1;
@@ -545,10 +551,23 @@ void write_all(int fd, const char* data, std::size_t len) noexcept {
 /// Runs `body` as rank `rank` against an already-wired transport and maps
 /// the outcome to an exit code + error text. Shared by parent and child.
 int run_rank_body(ProcTransport& transport, const std::function<void(Comm&)>& body,
-                  std::string& error_text, std::exception_ptr* keep_exception) {
-  Comm comm(transport);
+                  bool validate, std::string& error_text,
+                  std::exception_ptr* keep_exception) {
   try {
-    body(comm);
+    if (validate) {
+      ValidatingTransport checked(transport);
+      {
+        Comm comm(checked);
+        body(comm);
+      }
+      // Goodbye checks (chunk leaks, post-goodbye traffic) run before the
+      // wire-level Goodbye frame goes out; a ProtocolError here fails the
+      // rank exactly like a body exception.
+      checked.finalize();
+    } else {
+      Comm comm(transport);
+      body(comm);
+    }
     transport.finish();
     return kExitClean;
   } catch (const AbortedError&) {
@@ -568,7 +587,7 @@ int run_rank_body(ProcTransport& transport, const std::function<void(Comm&)>& bo
 }
 
 [[noreturn]] void child_main(int rank, int nranks, const std::function<void(Comm&)>& body,
-                             const std::vector<std::vector<int>>& mesh,
+                             bool validate, const std::vector<std::vector<int>>& mesh,
                              const std::vector<std::array<int, 2>>& status_pipes) {
   // Drop stdio buffers copied from the parent so they are never flushed
   // twice, and neuter SIGPIPE (all socket writes use MSG_NOSIGNAL; the
@@ -594,7 +613,7 @@ int run_rank_body(ProcTransport& transport, const std::function<void(Comm&)>& bo
   std::string error_text;
   try {
     ProcTransport transport(rank, nranks, mesh[static_cast<std::size_t>(rank)]);
-    code = run_rank_body(transport, body, error_text, nullptr);
+    code = run_rank_body(transport, body, validate, error_text, nullptr);
   } catch (const std::exception& e) {
     error_text = std::string("transport setup failed: ") + e.what();
   } catch (...) {
@@ -611,14 +630,23 @@ int run_rank_body(ProcTransport& transport, const std::function<void(Comm&)>& bo
 
 }  // namespace
 
-void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body) {
+void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool validate) {
   const auto n = static_cast<std::size_t>(nranks);
   if (nranks == 1) {
     // Degenerate fleet: no fork, no sockets — run rank 0 in place so
     // exception types propagate exactly like the thread backend.
     ProcTransport transport(0, 1, {-1});
-    Comm comm(transport);
-    body(comm);
+    if (validate) {
+      ValidatingTransport checked(transport);
+      {
+        Comm comm(checked);
+        body(comm);
+      }
+      checked.finalize();
+    } else {
+      Comm comm(transport);
+      body(comm);
+    }
     transport.finish();
     return;
   }
@@ -668,7 +696,7 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body) {
   std::vector<pid_t> pids(n, -1);
   for (int r = 1; r < nranks; ++r) {
     const pid_t pid = ::fork();
-    if (pid == 0) child_main(r, nranks, body, mesh, status_pipes);
+    if (pid == 0) child_main(r, nranks, body, validate, mesh, status_pipes);
     if (pid < 0) {
       const int err = errno;
       // Closing every fd EOFs the already-spawned children out of their
@@ -701,7 +729,7 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body) {
   int rank0_code = kExitFailed;
   {
     ProcTransport transport(0, nranks, mesh[0]);
-    rank0_code = run_rank_body(transport, body, rank0_error, &rank0_exception);
+    rank0_code = run_rank_body(transport, body, validate, rank0_error, &rank0_exception);
   }  // destructor closes rank 0's lanes: children see EOF (after Goodbye
      // on a clean run)
 

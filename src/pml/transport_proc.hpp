@@ -18,8 +18,10 @@ namespace detail {
 /// and harvests the children. Fail-fast mirrors the thread backend: the
 /// first failing rank aborts the fleet; its error text (and, for rank 0,
 /// its exception type) is re-raised on the caller — as RemoteRankError
-/// when the failure happened in a child.
-void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body);
+/// when the failure happened in a child. With `validate`, each rank's
+/// transport is wrapped in a ValidatingTransport (transport_check.hpp)
+/// and finalized after a clean body return.
+void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool validate);
 
 }  // namespace detail
 }  // namespace plv::pml

@@ -76,12 +76,16 @@ inline constexpr TransportKind kAllTransports[] = {TransportKind::kThread,
 
 /// GTEST_SKIP (must run in the test body or SetUp) when `kind` cannot run
 /// in this build.
-#define PLV_SKIP_IF_UNSUPPORTED(kind)                                     \
-  do {                                                                    \
-    if (!::plv::pml::transport_supported_in_this_build(kind)) {           \
-      GTEST_SKIP() << "fork-based proc transport is incompatible with "   \
-                      "ThreadSanitizer";                                  \
-    }                                                                     \
+#define PLV_SKIP_IF_UNSUPPORTED(kind)                                       \
+  do {                                                                      \
+    if (!::plv::pml::transport_supported_in_this_build(kind)) {             \
+      GTEST_SKIP() << "proc transport skipped under ThreadSanitizer: TSan " \
+                      "cannot follow fork() (the child inherits a "         \
+                      "snapshot of TSan's shadow state and deadlocks); "    \
+                      "the forked-child path gets its sanitizer coverage "  \
+                      "from the ASan+UBSan CI leg (PLV_SANITIZE), where "   \
+                      "proc runs in full";                                  \
+    }                                                                       \
   } while (0)
 
 /// Throw-based check for use inside rank bodies (see header comment).

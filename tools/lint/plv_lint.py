@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that clang-tidy cannot express.
+
+clang-tidy (driven by the .clang-tidy config at the repo root) covers the
+generic C++ hygiene; this script enforces the three invariants that are
+about *this* codebase's architecture, not the language:
+
+  map-ban
+      std::map / std::unordered_map (and their multi* variants, and the
+      <map> / <unordered_map> includes) are banned from the hot paths —
+      src/core, src/pml, src/hashing. Their per-find pointer chase and
+      allocation churn is exactly what the paper's flat open-addressed
+      tables exist to avoid; common/flat_map.hpp is the sanctioned
+      container (and lives outside the banned directories).
+
+  raw-chunk-release
+      Chunk nodes live and die on the pool API (Transport::acquire_chunk /
+      release_chunk, ChunkPool::acquire / release). A raw `delete` of a
+      chunk node, or a direct Chunk::recycle() call, bypasses the free
+      list, the watermark accounting, and the ValidatingTransport
+      ownership ledger. Only src/pml/mailbox.hpp — the pool and mailbox
+      implementation itself — is exempt.
+
+  aggregator-final-drain
+      Comm::drain_streaming_finalized sends no marker wave: it relies on
+      the caller having ended the phase toward every destination already,
+      which is exactly what Aggregator::flush_all_final does. Pairing it
+      with plain flush_all() (whose phase end comes from the drain's own
+      markers) deadlocks the phase — every call site of
+      drain_streaming_finalized must be preceded by flush_all_final, not
+      flush_all, as the nearest aggregator flush.
+
+Matching is textual but comment- and string-aware: // and /* */ comments
+and string literals are blanked before the rules run, so prose mentioning
+a banned name does not trip the lint. A genuine exception can be
+grandfathered with `plv-lint: allow(<rule>)` in a comment on the same
+line — the allow marker is read from the raw line, before blanking.
+
+Exit status: 0 when clean, 1 with one `path:line: [rule] message` per
+violation otherwise. No dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+MAP_BAN_DIRS = ("src/core", "src/pml", "src/hashing")
+CHUNK_DIRS = ("src/core", "src/pml", "src/hashing")
+CHUNK_EXEMPT = ("src/pml/mailbox.hpp",)
+# Aggregator/drain pairing is checked everywhere the API is used, tests
+# and benches included — a deadlocking example is still a bug.
+AGG_DIRS = ("src", "tests", "bench", "examples")
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+
+MAP_BAN_RE = re.compile(
+    r"\bstd\s*::\s*(?:unordered_)?(?:multi)?map\b|#\s*include\s*<(?:unordered_)?map>"
+)
+# A raw delete of a chunk node. Chunk pointers in this codebase are
+# consistently named c / chunk / *_chunk and declared as Chunk*; the rule
+# fires on a `delete` whose line also involves a chunk-ish name so plain
+# deletes of other types stay out of scope.
+RAW_DELETE_RE = re.compile(r"\bdelete\b[^;]*\b(?:[Cc]hunk\w*|c)\s*;")
+RECYCLE_RE = re.compile(r"(?:\.|->)\s*recycle\s*\(")
+# Call sites only (object.method / ptr->method): definitions and
+# declarations of these members in comm.hpp / aggregator.hpp don't match.
+FINAL_DRAIN_CALL_RE = re.compile(r"(?:\.|->)\s*drain_streaming_finalized\s*[<(]")
+FLUSH_CALL_RE = re.compile(r"(?:\.|->)\s*(flush_all(?:_final)?)\s*\(")
+
+ALLOW_RE = re.compile(r"plv-lint:\s*allow\(([\w,\s-]+)\)")
+
+
+def blank_comments_and_strings(text: str) -> str:
+    """Replaces comment/string-literal contents with spaces, preserving
+    offsets and newlines so line numbers keep matching the source."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line | block | str | chr
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if ch == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                mode = "str"
+                out.append(ch)
+                i += 1
+                continue
+            if ch == "'":
+                mode = "chr"
+                out.append(ch)
+                i += 1
+                continue
+            out.append(ch)
+        elif mode == "line":
+            if ch == "\n":
+                mode = "code"
+                out.append(ch)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if ch == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(ch if ch == "\n" else " ")
+        else:  # str | chr
+            quote = '"' if mode == "str" else "'"
+            if ch == "\\" and nxt:
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                mode = "code"
+                out.append(ch)
+            elif ch == "\n":  # unterminated (raw string etc.) — bail to code
+                mode = "code"
+                out.append(ch)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def allowed(raw_line: str, rule: str) -> bool:
+    m = ALLOW_RE.search(raw_line)
+    if not m:
+        return False
+    rules = {r.strip() for r in m.group(1).split(",")}
+    return rule in rules
+
+
+class Linter:
+    def __init__(self, root: pathlib.Path):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, path: pathlib.Path, line_no: int, rule: str, message: str) -> None:
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{line_no}: [{rule}] {message}")
+
+    def files_under(self, dirs: tuple[str, ...]):
+        seen = set()
+        for d in dirs:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            for p in sorted(base.rglob("*")):
+                if p.suffix in CPP_SUFFIXES and p not in seen:
+                    seen.add(p)
+                    yield p
+
+    def lint_file(self, path: pathlib.Path) -> None:
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        code = blank_comments_and_strings(raw)
+        raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
+        rel = path.relative_to(self.root).as_posix()
+
+        in_map_ban = rel.startswith(MAP_BAN_DIRS)
+        in_chunk = rel.startswith(CHUNK_DIRS) and rel not in CHUNK_EXEMPT
+
+        for idx, code_line in enumerate(code_lines):
+            raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
+            if in_map_ban and MAP_BAN_RE.search(code_line):
+                if not allowed(raw_line, "map-ban"):
+                    self.report(
+                        path, idx + 1, "map-ban",
+                        "std::map/std::unordered_map in a hot path; use "
+                        "common/flat_map.hpp (plv::FlatMap) instead",
+                    )
+            if in_chunk and (RAW_DELETE_RE.search(code_line) or RECYCLE_RE.search(code_line)):
+                if not allowed(raw_line, "raw-chunk-release"):
+                    self.report(
+                        path, idx + 1, "raw-chunk-release",
+                        "chunk node released outside the pool API; use "
+                        "Transport::release_chunk / ChunkPool::release",
+                    )
+
+        # aggregator-final-drain: nearest preceding flush call before every
+        # drain_streaming_finalized call site must be flush_all_final.
+        if rel.startswith(AGG_DIRS):
+            for m in FINAL_DRAIN_CALL_RE.finditer(code):
+                line_no = code.count("\n", 0, m.start()) + 1
+                raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+                if allowed(raw_line, "aggregator-final-drain"):
+                    continue
+                flushes = [f for f in FLUSH_CALL_RE.finditer(code, 0, m.start())]
+                if not flushes:
+                    # A marker-free drain with no aggregator flush at all in
+                    # the file: the caller must have finalized through
+                    # send_filled_final / send_marker by hand — legal (the
+                    # Comm internals do this), so only the mispairing with a
+                    # non-final flush is an error.
+                    continue
+                if flushes[-1].group(1) != "flush_all_final":
+                    self.report(
+                        path, line_no, "aggregator-final-drain",
+                        "drain_streaming_finalized paired with flush_all(); "
+                        "the finalized drain sends no markers, so the "
+                        "aggregator must be flushed with flush_all_final()",
+                    )
+
+    def run(self) -> int:
+        scanned = set()
+        for p in self.files_under(tuple({*MAP_BAN_DIRS, *CHUNK_DIRS, *AGG_DIRS})):
+            if p in scanned:
+                continue
+            scanned.add(p)
+            self.lint_file(p)
+        for v in self.violations:
+            print(v)
+        if self.violations:
+            print(f"plv-lint: {len(self.violations)} violation(s)", file=sys.stderr)
+            return 1
+        print(f"plv-lint: clean ({len(scanned)} files)")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    args = ap.parse_args()
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent.parent)
+    return Linter(root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
