@@ -33,6 +33,7 @@
 #include "metrics/modularity.hpp"
 #include "metrics/partition_utils.hpp"
 #include "metrics/quality.hpp"
+#include "pml/transport_tcp.hpp"
 #include "seq/label_prop.hpp"
 #include "seq/louvain_seq.hpp"
 
@@ -49,13 +50,21 @@ int usage() {
       "         er:   --n N --m M --seed S\n"
       "  stats  --graph FILE\n"
       "  detect --graph FILE [--engine par|seq|lp] [--ranks N]\n"
-      "         [--transport thread|proc] [--resolution G]\n"
+      "         [--transport thread|proc|tcp] [--resolution G]\n"
+      "         [--hosts host:port,...] [--rank R]\n"
       "         [--validate] [--out FILE] [--tree FILE] [--warm FILE]\n"
-      "  bfs    --graph FILE --root R [--ranks N] [--transport thread|proc]\n"
-      "  cc     --graph FILE [--ranks N] [--transport thread|proc]\n"
-      "  sssp   --graph FILE --root R [--ranks N] [--transport thread|proc]\n"
-      "The PLV_TRANSPORT environment variable overrides --transport;\n"
-      "PLV_VALIDATE (or PLV_PARANOID) overrides --validate.\n";
+      "  bfs    --graph FILE --root R [--ranks N] [--transport thread|proc|tcp]\n"
+      "  cc     --graph FILE [--ranks N] [--transport thread|proc|tcp]\n"
+      "  sssp   --graph FILE --root R [--ranks N] [--transport thread|proc|tcp]\n"
+      "Multi-host tcp: run the same command on every host with the same\n"
+      "--hosts list (one host:port per rank, entry index = rank) and that\n"
+      "host's --rank R; each invocation is one rank of the fleet. With\n"
+      "--transport tcp and no --hosts, a single invocation runs the whole\n"
+      "fleet over 127.0.0.1 (the loopback self-test). Only rank 0 prints\n"
+      "the detect metrics in a multi-host run.\n"
+      "The PLV_TRANSPORT environment variable overrides --transport,\n"
+      "PLV_HOSTS/PLV_RANK override --hosts/--rank, and PLV_VALIDATE (or\n"
+      "PLV_PARANOID) overrides --validate.\n";
   return 2;
 }
 
@@ -74,7 +83,20 @@ plv::core::ParOptions par_opts(const plv::Cli& cli) {
   // builds; Debug builds default to on regardless (PLV_VALIDATE=0 turns
   // it off either way — the env wins inside the core front doors).
   opts.validate_transport = cli.get_bool("validate", opts.validate_transport);
+  // Multi-host tcp launcher: --hosts names every rank's endpoint, --rank
+  // says which one this process is. A host list implies the rank count.
+  if (cli.has("hosts")) {
+    opts.hosts = plv::pml::parse_host_list(cli.get_string("hosts", ""));
+    opts.nranks = static_cast<int>(opts.hosts.size());
+  }
+  opts.tcp_rank = static_cast<int>(cli.get_int("rank", -1));
   return opts;
+}
+
+/// In a multi-host tcp run every rank computes the full result; only rank
+/// 0 should narrate it (the others' stdout is usually a remote log).
+bool is_silent_rank(const plv::core::ParOptions& opts) {
+  return opts.transport == plv::pml::TransportKind::kTcp && opts.tcp_rank > 0;
 }
 
 int cmd_gen(const plv::Cli& cli) {
@@ -143,6 +165,7 @@ int cmd_detect(const plv::Cli& cli) {
   plv::WallTimer t;
   std::vector<plv::vid_t> labels;
   std::unique_ptr<plv::core::Hierarchy> hierarchy;
+  bool quiet = false;
   if (engine == "seq") {
     plv::seq::SeqOptions opts;
     opts.resolution = cli.get_double("resolution", 1.0);
@@ -162,7 +185,8 @@ int cmd_detect(const plv::Cli& cli) {
       r = plv::louvain(plv::GraphSource::from_edges(edges), opts);
     }
     labels = r.final_labels;
-    std::cout << "transport    " << r.transport << '\n';
+    quiet = is_silent_rank(opts);
+    if (!quiet) std::cout << "transport    " << r.transport << '\n';
     hierarchy = std::make_unique<plv::core::Hierarchy>(r);
   } else {
     std::cerr << "unknown --engine " << engine << '\n';
@@ -170,15 +194,19 @@ int cmd_detect(const plv::Cli& cli) {
   }
   const double seconds = t.seconds();
 
-  std::cout << "engine       " << engine << '\n'
-            << "seconds      " << seconds << '\n'
-            << "communities  " << plv::metrics::count_communities(labels) << '\n'
-            << "modularity   "
-            << plv::metrics::modularity(g, labels, cli.get_double("resolution", 1.0))
-            << '\n'
-            << "coverage     " << plv::metrics::coverage(g, labels) << '\n'
-            << "mean phi     " << plv::metrics::conductance(g, labels).mean << '\n';
-  if (hierarchy) std::cout << "levels       " << hierarchy->num_levels() << '\n';
+  if (!quiet) {
+    std::cout << "engine       " << engine << '\n'
+              << "seconds      " << seconds << '\n'
+              << "communities  " << plv::metrics::count_communities(labels) << '\n'
+              << "modularity   "
+              << plv::metrics::modularity(g, labels,
+                                          cli.get_double("resolution", 1.0))
+              << '\n'
+              << "coverage     " << plv::metrics::coverage(g, labels) << '\n'
+              << "mean phi     " << plv::metrics::conductance(g, labels).mean
+              << '\n';
+    if (hierarchy) std::cout << "levels       " << hierarchy->num_levels() << '\n';
+  }
 
   if (cli.has("out")) {
     plv::graph::save_communities(labels, cli.get_string("out", "communities.txt"));

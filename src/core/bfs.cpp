@@ -120,7 +120,7 @@ BfsResult bfs_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t roo
         }
       },
       pml::resolve_transport(opts.transport),
-      pml::resolve_validate(opts.validate_transport));
+      pml::resolve_validate(opts.validate_transport), opts.tcp_options());
   return result;
 }
 

@@ -104,7 +104,7 @@ ComponentsResult connected_components_parallel(const graph::EdgeList& edges,
         }
       },
       pml::resolve_transport(opts.transport),
-      pml::resolve_validate(opts.validate_transport));
+      pml::resolve_validate(opts.validate_transport), opts.tcp_options());
   return result;
 }
 

@@ -1099,7 +1099,7 @@ ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
           result = std::move(local);
         }
       },
-      kind, pml::resolve_validate(opts.validate_transport));
+      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options());
   return result;
 }
 
@@ -1124,7 +1124,7 @@ ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of, vid_t n_vertice
           result = std::move(local);
         }
       },
-      kind, pml::resolve_validate(opts.validate_transport));
+      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options());
   return result;
 }
 
@@ -1144,7 +1144,7 @@ ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
           result = std::move(local);
         }
       },
-      kind, pml::resolve_validate(opts.validate_transport));
+      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options());
   return result;
 }
 

@@ -7,11 +7,13 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "graph/partition.hpp"
 #include "hashing/hash_fns.hpp"
 #include "pml/transport.hpp"
 #include "pml/transport_check.hpp"
+#include "pml/transport_tcp.hpp"
 
 namespace plv::core {
 
@@ -84,12 +86,31 @@ struct ParOptions {
   int nranks{4};
   graph::PartitionKind partition{graph::PartitionKind::kCyclic};
 
-  // Rank substrate: threads (default, shared-memory zero-copy) or forked
-  // processes over Unix-domain sockets. The PLV_TRANSPORT environment
-  // variable, when set, overrides this for every entry point that calls
-  // pml::resolve_transport — which all core front doors do. Results are
-  // bit-identical across backends for fixed seeds.
+  // Rank substrate: threads (default, shared-memory zero-copy), forked
+  // processes over Unix-domain sockets, or a TCP mesh (multi-host capable).
+  // The PLV_TRANSPORT environment variable, when set, overrides this for
+  // every entry point that calls pml::resolve_transport — which all core
+  // front doors do. Results are bit-identical across backends for fixed
+  // seeds.
   pml::TransportKind transport{pml::TransportKind::kThread};
+
+  // TCP mesh shape (kTcp only; see pml::TcpOptions). Both empty/-1 =
+  // the loopback self-test fleet: the caller forks one rank per entry of
+  // a 127.0.0.1 ephemeral-port mesh — zero configuration, what CI and
+  // PLV_TRANSPORT=tcp use. For a real multi-host run, `hosts` carries one
+  // "host:port" per rank (the same list on every host; index = rank) and
+  // `tcp_rank` says which entry this process is. PLV_HOSTS / PLV_RANK
+  // override these at run time, like PLV_TRANSPORT does for `transport`.
+  std::vector<std::string> hosts;
+  int tcp_rank{-1};
+
+  /// The pml launch options the configured TCP knobs describe.
+  [[nodiscard]] pml::TcpOptions tcp_options() const {
+    pml::TcpOptions tcp;
+    tcp.hosts = hosts;
+    tcp.self_rank = tcp_rank;
+    return tcp;
+  }
 
   // Protocol verification: wrap every rank's transport in the
   // ValidatingTransport state-machine checker (pml/transport_check.hpp),
@@ -233,9 +254,56 @@ struct ParOptions {
     if (!(resolution > 0.0) || !std::isfinite(resolution)) {
       fail("resolution must be a positive finite value, got " + std::to_string(resolution));
     }
-    if (transport != pml::TransportKind::kThread && transport != pml::TransportKind::kProc) {
+    if (transport != pml::TransportKind::kThread &&
+        transport != pml::TransportKind::kProc &&
+        transport != pml::TransportKind::kTcp) {
       fail("transport holds an invalid TransportKind value " +
-           std::to_string(static_cast<int>(transport)) + " (valid: kThread, kProc)");
+           std::to_string(static_cast<int>(transport)) +
+           " (valid: kThread, kProc, kTcp)");
+    }
+    // TCP mesh shape: catch a fleet that could never connect here, on the
+    // caller, instead of five seconds later inside connect().
+    if (tcp_rank < -1) {
+      fail("tcp_rank must be -1 (loopback self-test) or a rank index, got " +
+           std::to_string(tcp_rank));
+    }
+    if (transport != pml::TransportKind::kTcp) {
+      if (!hosts.empty()) {
+        fail("hosts is set (" + std::to_string(hosts.size()) +
+             " entries) but transport is not kTcp; a host list only applies to "
+             "the tcp backend");
+      }
+      if (tcp_rank != -1) {
+        fail("tcp_rank is set (" + std::to_string(tcp_rank) +
+             ") but transport is not kTcp");
+      }
+    } else {
+      if (tcp_rank >= 0 && hosts.empty()) {
+        fail("transport is kTcp with tcp_rank " + std::to_string(tcp_rank) +
+             " but no hosts; a multi-host run needs one host:port per rank "
+             "(leave tcp_rank = -1 for the loopback self-test)");
+      }
+      if (!hosts.empty()) {
+        if (static_cast<int>(hosts.size()) != nranks) {
+          fail("hosts has " + std::to_string(hosts.size()) + " entries but nranks is " +
+               std::to_string(nranks) + "; a tcp fleet needs one host:port per rank");
+        }
+        if (tcp_rank < 0) {
+          fail("hosts is set but tcp_rank is -1; a multi-host tcp run must say "
+               "which entry this process is (--rank / PLV_RANK)");
+        }
+        if (tcp_rank >= nranks) {
+          fail("tcp_rank " + std::to_string(tcp_rank) + " out of range for " +
+               std::to_string(nranks) + " ranks");
+        }
+        for (const std::string& entry : hosts) {
+          try {
+            (void)pml::parse_host_list(entry);
+          } catch (const std::invalid_argument& e) {
+            fail(std::string("hosts entry invalid: ") + e.what());
+          }
+        }
+      }
     }
   }
 };

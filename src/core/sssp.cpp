@@ -165,7 +165,7 @@ SsspResult sssp_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t r
         }
       },
       pml::resolve_transport(opts.transport),
-      pml::resolve_validate(opts.validate_transport));
+      pml::resolve_validate(opts.validate_transport), opts.tcp_options());
   return result;
 }
 

@@ -73,6 +73,7 @@
 #include "pml/transport.hpp"
 #include "pml/transport_check.hpp"
 #include "pml/transport_proc.hpp"
+#include "pml/transport_tcp.hpp"
 #include "pml/transport_thread.hpp"
 
 namespace plv::pml {
@@ -799,12 +800,18 @@ class Runtime {
   /// `validate`, every rank's transport is wrapped in a ValidatingTransport
   /// (transport_check.hpp) and finalized — goodbye checks included — after
   /// a clean body return; a ProtocolError fails the run like any rank
-  /// exception.
+  /// exception. `tcp` is consulted only by the kTcp backend (defaults
+  /// select its loopback self-test fleet; PLV_HOSTS/PLV_RANK still apply
+  /// inside run_tcp_ranks).
   static void run(int nranks, const std::function<void(Comm&)>& body,
-                  TransportKind kind, bool validate) {
+                  TransportKind kind, bool validate, const TcpOptions& tcp = {}) {
     if (nranks <= 0) throw std::invalid_argument("Runtime: nranks must be positive");
     if (kind == TransportKind::kProc) {
       detail::run_proc_ranks(nranks, body, validate);
+      return;
+    }
+    if (kind == TransportKind::kTcp) {
+      detail::run_tcp_ranks(nranks, body, validate, tcp);
       return;
     }
     run_threads(nranks, body, validate);

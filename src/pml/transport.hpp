@@ -50,16 +50,25 @@ struct AbortedError : std::runtime_error {
   AbortedError() : std::runtime_error("pml: peer rank failed; run aborted") {}
 };
 
-/// Failure of a rank running in another process. Exception *types* cannot
-/// cross a process boundary, so the process backend re-raises non-rank-0
-/// failures as this wrapper carrying the originating rank and the original
-/// what() text. (Rank 0 runs in the calling process and keeps its type.)
+/// Failure of a rank running in another process (or on another host).
+/// Exception *types* cannot cross a process boundary, so the socket
+/// backends re-raise non-local failures as this wrapper carrying the
+/// originating rank, its endpoint when the mesh knows one (TCP host:port;
+/// empty for anonymous socketpair lanes), and the original what() text.
+/// (Rank 0 runs in the calling process and keeps its type.)
 struct RemoteRankError : std::runtime_error {
   RemoteRankError(int failed_rank, const std::string& message)
-      : std::runtime_error("pml: rank " + std::to_string(failed_rank) +
-                           " failed: " + message),
-        rank(failed_rank) {}
+      : RemoteRankError(failed_rank, message, std::string()) {}
+  RemoteRankError(int failed_rank, const std::string& message,
+                  const std::string& failed_endpoint)
+      : std::runtime_error(
+            "pml: rank " + std::to_string(failed_rank) +
+            (failed_endpoint.empty() ? std::string() : " (" + failed_endpoint + ")") +
+            " failed: " + message),
+        rank(failed_rank),
+        endpoint(failed_endpoint) {}
   int rank;
+  std::string endpoint;
 };
 
 /// Receiver side of a collective: the transport calls deliver() exactly
@@ -139,10 +148,19 @@ class Transport {
 enum class TransportKind {
   kThread,  ///< thread-per-rank, shared memory (default)
   kProc,    ///< process-per-rank over Unix-domain sockets
+  kTcp,     ///< process-per-rank over a TCP mesh (multi-host capable)
 };
 
 [[nodiscard]] inline const char* transport_kind_name(TransportKind kind) noexcept {
-  return kind == TransportKind::kProc ? "proc" : "thread";
+  switch (kind) {
+    case TransportKind::kProc:
+      return "proc";
+    case TransportKind::kTcp:
+      return "tcp";
+    case TransportKind::kThread:
+      break;
+  }
+  return "thread";
 }
 
 [[nodiscard]] inline TransportKind parse_transport_kind(std::string_view text) {
@@ -150,8 +168,9 @@ enum class TransportKind {
   if (text == "proc" || text == "process" || text == "processes") {
     return TransportKind::kProc;
   }
+  if (text == "tcp") return TransportKind::kTcp;
   throw std::invalid_argument("pml: unknown transport '" + std::string(text) +
-                              "' (valid: thread, proc)");
+                              "' (valid: thread, proc, tcp)");
 }
 
 /// Applies the PLV_TRANSPORT environment override (if set and non-empty)

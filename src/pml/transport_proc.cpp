@@ -7,584 +7,34 @@
 // FIFO lane the quiescence protocol requires. Each child also gets a
 // status pipe to ship its error text back to the parent.
 //
-// Wire format: length-prefixed frames, one FrameHeader (fixed 32 bytes,
-// host byte order — both ends are forks of one binary) optionally
-// followed by a payload.
-//
-//   Data       payload = chunk bytes; epoch from the header
-//   Marker     no payload; end-of-phase control marker (epoch + count)
-//   Collective payload = this rank's alltoallv slice for the receiver
-//   Abort      no payload; fail-fast broadcast
-//   Goodbye    no payload; clean body completion, always the last frame
-//
-// Demultiplexing: both planes share one socket per peer, and the one-epoch
-// phase skew means collective frames can arrive while this rank still
-// drains fine-grained traffic (and vice versa). The receive loop therefore
-// sorts frames into two queues — chunks (Data/Marker, handed to Comm's
-// poll) and per-source collective payload FIFOs — and alltoallv consumes
-// the latter *in ascending source order*, which is exactly the rank-order
-// combine that makes reductions bit-identical with ThreadTransport.
-//
-// Determinism: collectives are combined in rank order on every backend,
-// chunk handlers are order-insensitive by contract (hash-table merges),
-// and the engine's arithmetic never depends on arrival order — so fixed
-// seeds give bit-identical labels and modularity across transports
-// (tests/transport_equivalence_test).
-//
-// Deadlock freedom: sockets are non-blocking; a writer that fills a
-// kernel buffer parks in poll() watching the destination for POLLOUT and
-// *every* peer for POLLIN, draining whatever arrives — so two ranks
-// flooding each other always make progress. Abort/EOF wake these waits.
-//
-// Failure detection: a failing rank broadcasts Abort (best effort) and
-// exits without Goodbye; peers treat EOF-without-Goodbye as a failure and
-// raise the local abort flag. EOF *after* Goodbye is a clean shutdown and
-// ignored — per-lane FIFO guarantees every frame the peer owed us was
-// already received before its Goodbye.
+// The frame protocol itself — wire format, demultiplexing, determinism,
+// deadlock freedom, failure detection — lives in transport_socket.hpp
+// (SocketFrameTransport), shared with the TCP backend; this file owns
+// only what is specific to the forked-socketpair substrate: mesh
+// creation, fork/fd hygiene, the status pipes, and child harvesting.
 #include "pml/transport_proc.hpp"
 
-#include <fcntl.h>
-#include <poll.h>
 #include <stdio_ext.h>
 #include <sys/socket.h>
-#include <sys/uio.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <deque>
 #include <string>
 #include <vector>
 
 #include "pml/comm.hpp"
-#include "pml/mailbox.hpp"
 #include "pml/transport.hpp"
 #include "pml/transport_check.hpp"
+#include "pml/transport_socket.hpp"
 
 namespace plv::pml::detail {
 namespace {
-
-enum FrameKind : std::uint32_t {
-  kFrameData = 1,
-  kFrameMarker = 2,
-  kFrameCollective = 3,
-  kFrameAbort = 4,
-  kFrameGoodbye = 5,
-};
-
-struct FrameHeader {
-  std::uint32_t kind{0};
-  std::uint32_t reserved{0};
-  std::uint64_t payload_bytes{0};
-  std::uint64_t epoch{0};
-  std::uint64_t control_records{0};
-};
-static_assert(sizeof(FrameHeader) == 32);
-
-/// Anything larger than this in a length prefix means a desynced stream
-/// (a torn frame from a dying peer); abort instead of allocating.
-constexpr std::uint64_t kMaxFramePayload = 1ULL << 40;
-
-/// Child exit codes. kExitAborted marks a peer-induced unwind, which the
-/// parent does not treat as the originating failure.
-constexpr int kExitClean = 0;
-constexpr int kExitFailed = 1;
-constexpr int kExitAborted = 2;
-
-class ProcTransport final : public Transport {
- public:
-  /// `fds[r]` is this rank's socket to rank r (-1 for self).
-  ProcTransport(int rank, int nranks, std::vector<int> fds)
-      : rank_(rank),
-        nranks_(nranks),
-        fds_(std::move(fds)),
-        rx_(static_cast<std::size_t>(nranks)),
-        pending_collective_(static_cast<std::size_t>(nranks)) {
-    assert(static_cast<int>(fds_.size()) == nranks_);
-    for (int r = 0; r < nranks_; ++r) {
-      if (r == rank_ || fds_[static_cast<std::size_t>(r)] < 0) {
-        rx_[static_cast<std::size_t>(r)].open = false;
-        continue;
-      }
-      const int fd = fds_[static_cast<std::size_t>(r)];
-      const int flags = ::fcntl(fd, F_GETFL, 0);
-      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-      // Best effort: widen the kernel buffers so whole coalesced chunks
-      // usually queue in one sendmsg.
-      const int kBufBytes = 1 << 20;
-      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kBufBytes, sizeof(kBufBytes));
-      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kBufBytes, sizeof(kBufBytes));
-    }
-  }
-
-  ~ProcTransport() override {
-    // Chunks stranded by an aborted run go back to the pool, whose
-    // destructor frees the whole list (keeps every node death on the
-    // pool API; the repo lint flags raw deletes of chunk nodes).
-    for (Chunk* c : incoming_) pool_.release(c);
-    for (auto& rx : rx_) {
-      if (rx.chunk != nullptr) pool_.release(rx.chunk);
-    }
-    for (int r = 0; r < nranks_; ++r) {
-      const int fd = fds_[static_cast<std::size_t>(r)];
-      if (r != rank_ && fd >= 0) ::close(fd);
-    }
-  }
-
-  [[nodiscard]] const char* name() const noexcept override { return "proc"; }
-  [[nodiscard]] int rank() const noexcept override { return rank_; }
-  [[nodiscard]] int nranks() const noexcept override { return nranks_; }
-
-  void barrier() override {
-    struct NullSink final : CollectiveSink {
-      void deliver(int, std::span<const std::byte>) override {}
-    } sink;
-    empty_spans_.assign(static_cast<std::size_t>(nranks_), {});
-    alltoallv(empty_spans_, sink);
-  }
-
-  void alltoallv(std::span<const std::span<const std::byte>> outgoing,
-                 CollectiveSink& sink) override {
-    assert(static_cast<int>(outgoing.size()) == nranks_);
-    check_abort();
-    for (int d = 0; d < nranks_; ++d) {
-      if (d == rank_) continue;
-      FrameHeader h;
-      h.kind = kFrameCollective;
-      h.payload_bytes = outgoing[static_cast<std::size_t>(d)].size();
-      write_frame(d, h, outgoing[static_cast<std::size_t>(d)]);
-    }
-    // Wait for every peer's slice. Frames already buffered (a peer racing
-    // one collective ahead) satisfy the wait immediately; per-source FIFO
-    // keeps successive collectives matched up.
-    for (int src = 0; src < nranks_; ++src) {
-      if (src == rank_) continue;
-      auto& queue = pending_collective_[static_cast<std::size_t>(src)];
-      while (queue.empty()) {
-        check_abort();
-        const PeerRx& rx = rx_[static_cast<std::size_t>(src)];
-        if (!rx.open || rx.goodbye) {
-          // The peer can never send the slice we need.
-          aborted_ = true;
-          throw AbortedError();
-        }
-        pump(true);
-      }
-    }
-    check_abort();
-    std::size_t total = outgoing[static_cast<std::size_t>(rank_)].size();
-    for (int src = 0; src < nranks_; ++src) {
-      if (src == rank_) continue;
-      total += pending_collective_[static_cast<std::size_t>(src)].front().size();
-    }
-    sink.total_hint(total);
-    for (int src = 0; src < nranks_; ++src) {
-      if (src == rank_) {
-        sink.deliver(src, outgoing[static_cast<std::size_t>(rank_)]);
-        continue;
-      }
-      auto& queue = pending_collective_[static_cast<std::size_t>(src)];
-      const std::vector<std::byte>& payload = queue.front();
-      sink.deliver(src, {payload.data(), payload.size()});
-      queue.pop_front();
-    }
-  }
-
-  [[nodiscard]] Chunk* acquire_chunk(std::size_t reserve_bytes) override {
-    return pool_.acquire(reserve_bytes);
-  }
-  void release_chunk(Chunk* chunk) noexcept override { pool_.release(chunk); }
-
-  void send(int dest, Chunk* chunk) override {
-    if (dest == rank_) {
-      incoming_.push_back(chunk);  // self lane: stays in-process, stays FIFO
-      return;
-    }
-    FrameHeader h;
-    h.kind = chunk->control ? kFrameMarker : kFrameData;
-    h.payload_bytes = chunk->size();
-    h.epoch = chunk->epoch;
-    h.control_records = chunk->control_records;
-    try {
-      write_frame(dest, h, {chunk->data(), chunk->size()});
-    } catch (...) {
-      pool_.release(chunk);
-      throw;
-    }
-    pool_.release(chunk);  // bytes are on the wire; recycle the node
-  }
-
-  std::size_t drain(std::vector<Chunk*>& out) override {
-    pump(false);
-    const std::size_t n = incoming_.size();
-    out.insert(out.end(), incoming_.begin(), incoming_.end());
-    incoming_.clear();
-    return n;
-  }
-
-  void wait_incoming() override {
-    while (incoming_.empty() && !aborted_) pump(true);
-  }
-
-  void raise_abort() noexcept override {
-    aborted_ = true;
-    FrameHeader h;
-    h.kind = kFrameAbort;
-    for (int d = 0; d < nranks_; ++d) {
-      if (d == rank_ || !rx_[static_cast<std::size_t>(d)].open) continue;
-      // Single best-effort push: if the buffer is full or the peer is
-      // gone, our EOF (we exit without Goodbye) aborts it instead.
-      (void)::send(fds_[static_cast<std::size_t>(d)], &h, sizeof(h),
-                   MSG_NOSIGNAL | MSG_DONTWAIT);
-    }
-  }
-
-  [[nodiscard]] bool aborted() const noexcept override { return aborted_; }
-
-  void set_pool_watermark(std::size_t nodes) noexcept override {
-    pool_.set_watermark(nodes);
-  }
-  void trim_pool() noexcept override { pool_.trim(); }
-  [[nodiscard]] std::size_t pool_free_count() const noexcept override {
-    return pool_.free_count();
-  }
-
-  /// Announces clean completion to every peer (the frame after which this
-  /// rank's EOF is not a failure). Deliberately NOT write_frame: a peer
-  /// that finished first may already have exited, and its EPIPE must
-  /// neither raise the abort flag nor stop the goodbyes still owed to the
-  /// remaining peers — otherwise a slow third rank sees an unexplained
-  /// EOF and aborts a run that succeeded everywhere.
-  void finish() noexcept {
-    FrameHeader h;
-    h.kind = kFrameGoodbye;
-    for (int d = 0; d < nranks_; ++d) {
-      if (d == rank_ || !rx_[static_cast<std::size_t>(d)].open) continue;
-      const int fd = fds_[static_cast<std::size_t>(d)];
-      const auto* p = reinterpret_cast<const std::byte*>(&h);
-      std::size_t off = 0;
-      while (off < sizeof(FrameHeader)) {
-        const ssize_t k =
-            ::send(fd, p + off, sizeof(FrameHeader) - off, MSG_NOSIGNAL);
-        if (k > 0) {
-          off += static_cast<std::size_t>(k);
-          continue;
-        }
-        if (k < 0 && errno == EINTR) continue;
-        if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-          pollfd pf{fd, POLLOUT, 0};
-          int rc = 0;
-          do {
-            rc = ::poll(&pf, 1, -1);
-          } while (rc < 0 && errno == EINTR);
-          if (rc < 0) break;
-          continue;  // writable, or an error send() will surface
-        }
-        break;  // peer already gone; its own shutdown state decides the run
-      }
-    }
-  }
-
- private:
-  /// Per-peer receive state: a frame header being assembled, then its
-  /// payload streamed into either a pooled chunk (Data/Marker) or a byte
-  /// buffer (Collective).
-  struct PeerRx {
-    std::array<std::byte, sizeof(FrameHeader)> hdr_buf;
-    std::size_t hdr_got{0};
-    FrameHeader hdr{};
-    bool in_payload{false};
-    std::size_t payload_got{0};
-    Chunk* chunk{nullptr};
-    std::vector<std::byte> collective;
-    bool open{true};
-    bool goodbye{false};
-  };
-
-  void check_abort() const {
-    if (aborted_) throw AbortedError();
-  }
-
-  /// Closes the lane to `r`. EOF without a preceding Goodbye means the
-  /// peer died mid-protocol: raise the abort flag.
-  void close_peer(int r) noexcept {
-    PeerRx& rx = rx_[static_cast<std::size_t>(r)];
-    if (!rx.open) return;
-    rx.open = false;
-    if (rx.chunk != nullptr) pool_.release(rx.chunk);  // half-received frame
-    rx.chunk = nullptr;
-    ::close(fds_[static_cast<std::size_t>(r)]);
-    fds_[static_cast<std::size_t>(r)] = -1;
-    if (!rx.goodbye) aborted_ = true;
-  }
-
-  /// Non-blocking read pump for one peer: consume whatever the socket
-  /// holds, completing as many frames as arrive.
-  void pump_peer(int r) {
-    PeerRx& rx = rx_[static_cast<std::size_t>(r)];
-    const auto fd = [&] { return fds_[static_cast<std::size_t>(r)]; };
-    while (rx.open) {
-      if (!rx.in_payload) {
-        const ssize_t k = ::recv(fd(), rx.hdr_buf.data() + rx.hdr_got,
-                                 sizeof(FrameHeader) - rx.hdr_got, 0);
-        if (k > 0) {
-          rx.hdr_got += static_cast<std::size_t>(k);
-          if (rx.hdr_got == sizeof(FrameHeader)) begin_frame(r);
-          continue;
-        }
-        if (k == 0) return close_peer(r);
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-        if (errno == EINTR) continue;
-        return close_peer(r);
-      }
-      // Payload streaming.
-      std::byte* dst = rx.chunk != nullptr ? rx.chunk->raw() : rx.collective.data();
-      const std::size_t want =
-          static_cast<std::size_t>(rx.hdr.payload_bytes) - rx.payload_got;
-      const ssize_t k = ::recv(fd(), dst + rx.payload_got, want, 0);
-      if (k > 0) {
-        rx.payload_got += static_cast<std::size_t>(k);
-        if (rx.payload_got == rx.hdr.payload_bytes) finish_frame(r);
-        continue;
-      }
-      if (k == 0) return close_peer(r);
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
-      return close_peer(r);
-    }
-  }
-
-  /// Header complete: route by kind, set up the payload destination.
-  void begin_frame(int r) {
-    PeerRx& rx = rx_[static_cast<std::size_t>(r)];
-    std::memcpy(&rx.hdr, rx.hdr_buf.data(), sizeof(FrameHeader));
-    rx.hdr_got = 0;
-    if (rx.hdr.payload_bytes > kMaxFramePayload) {
-      aborted_ = true;  // desynced stream; unrecoverable
-      close_peer(r);
-      return;
-    }
-    switch (rx.hdr.kind) {
-      case kFrameAbort:
-        aborted_ = true;
-        return;
-      case kFrameGoodbye:
-        rx.goodbye = true;
-        return;
-      case kFrameCollective:
-        rx.collective.resize(static_cast<std::size_t>(rx.hdr.payload_bytes));
-        break;
-      case kFrameData:
-      case kFrameMarker:
-        rx.chunk = pool_.acquire(static_cast<std::size_t>(rx.hdr.payload_bytes));
-        break;
-      default:
-        aborted_ = true;  // unknown kind: desynced stream
-        close_peer(r);
-        return;
-    }
-    rx.payload_got = 0;
-    rx.in_payload = true;
-    if (rx.hdr.payload_bytes == 0) finish_frame(r);
-  }
-
-  /// Payload complete: enqueue the frame for its consumer.
-  void finish_frame(int r) {
-    PeerRx& rx = rx_[static_cast<std::size_t>(r)];
-    if (rx.hdr.kind == kFrameCollective) {
-      pending_collective_[static_cast<std::size_t>(r)].push_back(
-          std::move(rx.collective));
-      rx.collective = {};
-    } else {
-      Chunk* c = rx.chunk;
-      rx.chunk = nullptr;
-      c->set_size(static_cast<std::size_t>(rx.hdr.payload_bytes));
-      c->source = r;
-      c->epoch = rx.hdr.epoch;
-      c->control = rx.hdr.kind == kFrameMarker;
-      c->control_records = rx.hdr.control_records;
-      incoming_.push_back(c);
-    }
-    rx.in_payload = false;
-  }
-
-  /// Polls every open lane and pumps the readable ones. With block=true
-  /// parks until something arrives (or a peer hangs up). If no lane is
-  /// open and nothing is queued, the run can never progress: abort.
-  void pump(bool block) {
-    pfds_.clear();
-    pfd_ranks_.clear();
-    for (int r = 0; r < nranks_; ++r) {
-      if (r == rank_ || !rx_[static_cast<std::size_t>(r)].open) continue;
-      pfds_.push_back({fds_[static_cast<std::size_t>(r)], POLLIN, 0});
-      pfd_ranks_.push_back(r);
-    }
-    if (pfds_.empty()) {
-      if (block && incoming_.empty()) aborted_ = true;
-      return;
-    }
-    int rc = 0;
-    do {
-      rc = ::poll(pfds_.data(), pfds_.size(), block ? -1 : 0);
-    } while (rc < 0 && errno == EINTR);
-    if (rc <= 0) return;
-    for (std::size_t i = 0; i < pfds_.size(); ++i) {
-      if ((pfds_[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        pump_peer(pfd_ranks_[i]);
-      }
-    }
-  }
-
-  /// Blocking frame write with a read-draining progress loop (see the
-  /// deadlock-freedom note in the file header). Throws AbortedError if
-  /// the run aborts or the peer disappears mid-write.
-  void write_frame(int dest, const FrameHeader& h, std::span<const std::byte> payload) {
-    if (!rx_[static_cast<std::size_t>(dest)].open) {
-      aborted_ = true;
-      throw AbortedError();
-    }
-    const auto* hdr_bytes = reinterpret_cast<const std::byte*>(&h);
-    const std::size_t total = sizeof(FrameHeader) + payload.size();
-    std::size_t off = 0;
-    while (off < total) {
-      check_abort();
-      if (!rx_[static_cast<std::size_t>(dest)].open) {
-        aborted_ = true;
-        throw AbortedError();
-      }
-      struct iovec iov[2];
-      int iovcnt = 0;
-      if (off < sizeof(FrameHeader)) {
-        iov[iovcnt].iov_base = const_cast<std::byte*>(hdr_bytes) + off;
-        iov[iovcnt].iov_len = sizeof(FrameHeader) - off;
-        ++iovcnt;
-        if (!payload.empty()) {
-          iov[iovcnt].iov_base = const_cast<std::byte*>(payload.data());
-          iov[iovcnt].iov_len = payload.size();
-          ++iovcnt;
-        }
-      } else {
-        const std::size_t poff = off - sizeof(FrameHeader);
-        iov[iovcnt].iov_base = const_cast<std::byte*>(payload.data()) + poff;
-        iov[iovcnt].iov_len = payload.size() - poff;
-        ++iovcnt;
-      }
-      msghdr mh{};
-      mh.msg_iov = iov;
-      mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
-      const ssize_t k = ::sendmsg(fds_[static_cast<std::size_t>(dest)], &mh,
-                                  MSG_NOSIGNAL);
-      if (k > 0) {
-        off += static_cast<std::size_t>(k);
-        continue;
-      }
-      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        wait_writable(dest);
-        continue;
-      }
-      if (k < 0 && errno == EINTR) continue;
-      // EPIPE / ECONNRESET: the peer is gone mid-protocol.
-      close_peer(dest);
-      aborted_ = true;
-      throw AbortedError();
-    }
-  }
-
-  /// Parks until `dest` accepts bytes again, draining every readable peer
-  /// meanwhile (including `dest` itself) so opposing floods drain.
-  void wait_writable(int dest) {
-    pfds_.clear();
-    pfd_ranks_.clear();
-    pfds_.push_back({fds_[static_cast<std::size_t>(dest)],
-                     static_cast<short>(POLLOUT | POLLIN), 0});
-    pfd_ranks_.push_back(dest);
-    for (int r = 0; r < nranks_; ++r) {
-      if (r == rank_ || r == dest || !rx_[static_cast<std::size_t>(r)].open) continue;
-      pfds_.push_back({fds_[static_cast<std::size_t>(r)], POLLIN, 0});
-      pfd_ranks_.push_back(r);
-    }
-    int rc = 0;
-    do {
-      rc = ::poll(pfds_.data(), pfds_.size(), -1);
-    } while (rc < 0 && errno == EINTR);
-    if (rc <= 0) return;
-    for (std::size_t i = 0; i < pfds_.size(); ++i) {
-      if ((pfds_[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        pump_peer(pfd_ranks_[i]);
-      }
-    }
-  }
-
-  int rank_;
-  int nranks_;
-  std::vector<int> fds_;
-  ChunkPool pool_;  // single-threaded: one process = one rank
-  std::vector<PeerRx> rx_;
-  std::vector<Chunk*> incoming_;  // completed Data/Marker frames, FIFO per src
-  std::vector<std::deque<std::vector<std::byte>>> pending_collective_;
-  std::vector<std::span<const std::byte>> empty_spans_;
-  std::vector<pollfd> pfds_;      // poll scratch, reused
-  std::vector<int> pfd_ranks_;
-  bool aborted_{false};
-};
-
-/// Writes the whole buffer, best effort (status-pipe path).
-void write_all(int fd, const char* data, std::size_t len) noexcept {
-  std::size_t off = 0;
-  while (off < len) {
-    const ssize_t k = ::write(fd, data + off, len - off);
-    if (k > 0) {
-      off += static_cast<std::size_t>(k);
-      continue;
-    }
-    if (k < 0 && errno == EINTR) continue;
-    return;
-  }
-}
-
-/// Runs `body` as rank `rank` against an already-wired transport and maps
-/// the outcome to an exit code + error text. Shared by parent and child.
-int run_rank_body(ProcTransport& transport, const std::function<void(Comm&)>& body,
-                  bool validate, std::string& error_text,
-                  std::exception_ptr* keep_exception) {
-  try {
-    if (validate) {
-      ValidatingTransport checked(transport);
-      {
-        Comm comm(checked);
-        body(comm);
-      }
-      // Goodbye checks (chunk leaks, post-goodbye traffic) run before the
-      // wire-level Goodbye frame goes out; a ProtocolError here fails the
-      // rank exactly like a body exception.
-      checked.finalize();
-    } else {
-      Comm comm(transport);
-      body(comm);
-    }
-    transport.finish();
-    return kExitClean;
-  } catch (const AbortedError&) {
-    transport.raise_abort();  // rebroadcast; the originator reports the cause
-    return kExitAborted;
-  } catch (const std::exception& e) {
-    error_text = e.what();
-    if (keep_exception != nullptr) *keep_exception = std::current_exception();
-    transport.raise_abort();
-    return kExitFailed;
-  } catch (...) {
-    error_text = "unknown exception";
-    if (keep_exception != nullptr) *keep_exception = std::current_exception();
-    transport.raise_abort();
-    return kExitFailed;
-  }
-}
 
 [[noreturn]] void child_main(int rank, int nranks, const std::function<void(Comm&)>& body,
                              bool validate, const std::vector<std::vector<int>>& mesh,
@@ -612,7 +62,8 @@ int run_rank_body(ProcTransport& transport, const std::function<void(Comm&)>& bo
   int code = kExitFailed;
   std::string error_text;
   try {
-    ProcTransport transport(rank, nranks, mesh[static_cast<std::size_t>(rank)]);
+    SocketFrameTransport transport("proc", rank, nranks,
+                                   mesh[static_cast<std::size_t>(rank)]);
     code = run_rank_body(transport, body, validate, error_text, nullptr);
   } catch (const std::exception& e) {
     error_text = std::string("transport setup failed: ") + e.what();
@@ -635,7 +86,7 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool val
   if (nranks == 1) {
     // Degenerate fleet: no fork, no sockets — run rank 0 in place so
     // exception types propagate exactly like the thread backend.
-    ProcTransport transport(0, 1, {-1});
+    SocketFrameTransport transport("proc", 0, 1, {-1});
     if (validate) {
       ValidatingTransport checked(transport);
       {
@@ -728,7 +179,7 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool val
   std::exception_ptr rank0_exception;
   int rank0_code = kExitFailed;
   {
-    ProcTransport transport(0, nranks, mesh[0]);
+    SocketFrameTransport transport("proc", 0, nranks, mesh[0]);
     rank0_code = run_rank_body(transport, body, validate, rank0_error, &rank0_exception);
   }  // destructor closes rank 0's lanes: children see EOF (after Goodbye
      // on a clean run)
@@ -754,11 +205,18 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool val
     do {
       rc = ::waitpid(pids[r], &st, 0);
     } while (rc < 0 && errno == EINTR);
-    if (WIFEXITED(st)) {
-      child_code[r] = WEXITSTATUS(st);
-    } else if (WIFSIGNALED(st)) {
+    if (rc < 0) {
+      // ECHILD or worse: the child's fate is unknowable — never treat a
+      // lost rank as clean.
       child_code[r] = kExitFailed;
-      child_error[r] = std::string("killed by signal ") + std::to_string(WTERMSIG(st));
+      child_error[r] = std::string("waitpid failed: ") + std::strerror(errno);
+    } else if (WIFEXITED(st)) {
+      child_code[r] = WEXITSTATUS(st);
+    } else {
+      // Signal deaths (and anything else waitpid can report) decode into
+      // readable text so fault-injection failures are diagnosable.
+      child_code[r] = kExitFailed;
+      child_error[r] = describe_wait_status(st);
     }
   }
 

@@ -133,6 +133,84 @@ TEST(OptionsValidate, RejectsCorruptedTransportEnum) {
   expect_rejected(opts, "transport");
 }
 
+TEST(OptionsValidate, TcpDefaultsSelectTheLoopbackSelfTest) {
+  // kTcp with no hosts and tcp_rank -1 is the loopback self-test fleet —
+  // what CI's PLV_TRANSPORT=tcp leg runs — and needs no configuration.
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kTcp;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, TcpMultiHostCombinationIsValid) {
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kTcp;
+  opts.nranks = 2;
+  opts.hosts = {"10.0.0.1:7000", "10.0.0.2:7000"};
+  opts.tcp_rank = 1;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsHostsOnNonTcpTransports) {
+  ParOptions opts;
+  opts.nranks = 2;
+  opts.hosts = {"a:1", "b:2"};
+  opts.tcp_rank = 0;
+  opts.transport = pml::TransportKind::kThread;
+  expect_rejected(opts, "hosts");
+  opts.transport = pml::TransportKind::kProc;
+  expect_rejected(opts, "hosts");
+}
+
+TEST(OptionsValidate, RejectsTcpRankOnNonTcpTransports) {
+  ParOptions opts;
+  opts.tcp_rank = 0;
+  expect_rejected(opts, "tcp_rank");
+}
+
+TEST(OptionsValidate, RejectsTcpRankWithoutHosts) {
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kTcp;
+  opts.tcp_rank = 0;
+  expect_rejected(opts, "hosts");
+}
+
+TEST(OptionsValidate, RejectsHostCountMismatchingRankCount) {
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kTcp;
+  opts.nranks = 3;
+  opts.hosts = {"a:1", "b:2"};
+  opts.tcp_rank = 0;
+  expect_rejected(opts, "hosts");
+}
+
+TEST(OptionsValidate, RejectsHostsWithoutTcpRank) {
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kTcp;
+  opts.nranks = 2;
+  opts.hosts = {"a:1", "b:2"};
+  expect_rejected(opts, "tcp_rank");
+}
+
+TEST(OptionsValidate, RejectsTcpRankOutOfRange) {
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kTcp;
+  opts.nranks = 2;
+  opts.hosts = {"a:1", "b:2"};
+  opts.tcp_rank = 2;
+  expect_rejected(opts, "tcp_rank");
+  opts.tcp_rank = -7;
+  expect_rejected(opts, "tcp_rank");
+}
+
+TEST(OptionsValidate, RejectsMalformedHostEntries) {
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kTcp;
+  opts.nranks = 2;
+  opts.hosts = {"a:1", "b:no-such-port"};
+  opts.tcp_rank = 0;
+  expect_rejected(opts, "hosts");
+}
+
 TEST(OptionsValidate, EntryPointsRejectBeforeSpawningRanks) {
   // The front door must surface the validation error directly (no rank
   // fleet, no wrapped exception).

@@ -155,8 +155,8 @@ TEST_P(FailFast, CleanRunIsUnaffectedByAbortMachinery) {
 }
 
 TEST_P(FailFast, RemoteRankErrorNamesTheFailedRank) {
-  if (GetParam() != TransportKind::kProc) {
-    GTEST_SKIP() << "RemoteRankError is the proc backend's child-failure report";
+  if (GetParam() == TransportKind::kThread) {
+    GTEST_SKIP() << "RemoteRankError is the socket backends' child-failure report";
   }
   auto fut = run_async(4, [](Comm& comm) {
     if (comm.rank() == 2) throw std::runtime_error("child went down");
@@ -169,6 +169,10 @@ TEST_P(FailFast, RemoteRankErrorNamesTheFailedRank) {
   } catch (const RemoteRankError& e) {
     EXPECT_EQ(e.rank, 2);
     EXPECT_NE(std::string(e.what()).find("child went down"), std::string::npos);
+    if (GetParam() == TransportKind::kTcp) {
+      // The tcp fleet knows where the rank lived; the report names it.
+      EXPECT_NE(e.endpoint.find("127.0.0.1:"), std::string::npos) << e.what();
+    }
   }
 }
 

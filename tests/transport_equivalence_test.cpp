@@ -1,7 +1,9 @@
-// Cross-transport determinism: the thread and proc backends must produce
-// bit-identical artifacts for the same options and input. The engine's
-// determinism argument (rank-order collective combining, deterministic
-// tie-breaks) is transport-independent — this test pins that claim.
+// Cross-transport determinism: the thread, proc, and tcp backends must
+// produce bit-identical artifacts for the same options and input. The
+// engine's determinism argument (rank-order collective combining,
+// deterministic tie-breaks) is transport-independent — this test pins
+// that claim. The tcp legs run the loopback self-test fleet (forked
+// ranks over 127.0.0.1 ephemeral ports).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -16,8 +18,8 @@ namespace plv {
 namespace {
 
 // These tests pass explicit transports through ParOptions, so a
-// PLV_TRANSPORT value inherited from the environment (CI proc legs set it
-// binary-wide) must be parked for the duration of each test.
+// PLV_TRANSPORT value inherited from the environment (CI proc/tcp legs
+// set it binary-wide) must be parked for the duration of each test.
 class TransportEquivalence : public ::testing::Test {
  protected:
   void SetUp() override { PLV_SKIP_IF_UNSUPPORTED(pml::TransportKind::kProc); }
@@ -38,24 +40,28 @@ core::ParOptions opts_for(pml::TransportKind kind) {
   return opts;
 }
 
-void expect_identical(const Result& thread_r, const Result& proc_r) {
+/// Asserts `r` matches the thread-backend reference bit for bit: labels,
+/// modularity, level artifacts, and communication volume.
+void expect_identical(const Result& thread_r, const Result& r,
+                      const std::string& transport) {
   EXPECT_EQ(thread_r.transport, "thread");
-  EXPECT_EQ(proc_r.transport, "proc");
+  EXPECT_EQ(r.transport, transport);
   // Bitwise-equal modularity, not nearly-equal: both backends must
   // combine partial sums in the same (rank) order.
-  EXPECT_EQ(thread_r.final_modularity, proc_r.final_modularity);
-  EXPECT_EQ(thread_r.final_labels, proc_r.final_labels);
-  ASSERT_EQ(thread_r.num_levels(), proc_r.num_levels());
+  EXPECT_EQ(thread_r.final_modularity, r.final_modularity) << transport;
+  EXPECT_EQ(thread_r.final_labels, r.final_labels) << transport;
+  ASSERT_EQ(thread_r.num_levels(), r.num_levels()) << transport;
   for (std::size_t l = 0; l < thread_r.num_levels(); ++l) {
-    EXPECT_EQ(thread_r.levels[l].labels, proc_r.levels[l].labels) << "level " << l;
-    EXPECT_EQ(thread_r.levels[l].modularity, proc_r.levels[l].modularity)
-        << "level " << l;
+    EXPECT_EQ(thread_r.levels[l].labels, r.levels[l].labels)
+        << transport << " level " << l;
+    EXPECT_EQ(thread_r.levels[l].modularity, r.levels[l].modularity)
+        << transport << " level " << l;
     // Communication volume is part of the deterministic artifact too.
     EXPECT_EQ(thread_r.levels[l].traffic.records_sent,
-              proc_r.levels[l].traffic.records_sent)
-        << "level " << l;
+              r.levels[l].traffic.records_sent)
+        << transport << " level " << l;
   }
-  EXPECT_EQ(thread_r.traffic.records_sent, proc_r.traffic.records_sent);
+  EXPECT_EQ(thread_r.traffic.records_sent, r.traffic.records_sent) << transport;
 }
 
 TEST_F(TransportEquivalence, ColdStartIsBitIdentical) {
@@ -63,7 +69,10 @@ TEST_F(TransportEquivalence, ColdStartIsBitIdentical) {
                                 opts_for(pml::TransportKind::kThread));
   const auto proc_r = louvain(GraphSource::from_edges(lfr_input()),
                               opts_for(pml::TransportKind::kProc));
-  expect_identical(thread_r, proc_r);
+  expect_identical(thread_r, proc_r, "proc");
+  const auto tcp_r = louvain(GraphSource::from_edges(lfr_input()),
+                             opts_for(pml::TransportKind::kTcp));
+  expect_identical(thread_r, tcp_r, "tcp");
 }
 
 TEST_F(TransportEquivalence, WarmStartIsBitIdentical) {
@@ -77,7 +86,11 @@ TEST_F(TransportEquivalence, WarmStartIsBitIdentical) {
   const auto proc_r =
       louvain(GraphSource::from_edges_warm(lfr_input(), seed_run.final_labels),
               opts_for(pml::TransportKind::kProc));
-  expect_identical(thread_r, proc_r);
+  expect_identical(thread_r, proc_r, "proc");
+  const auto tcp_r =
+      louvain(GraphSource::from_edges_warm(lfr_input(), seed_run.final_labels),
+              opts_for(pml::TransportKind::kTcp));
+  expect_identical(thread_r, tcp_r, "tcp");
 }
 
 TEST_F(TransportEquivalence, StreamedIngestIsBitIdentical) {
@@ -96,7 +109,10 @@ TEST_F(TransportEquivalence, StreamedIngestIsBitIdentical) {
                                 opts_for(pml::TransportKind::kThread));
   const auto proc_r =
       louvain(GraphSource::from_stream(slice, n), opts_for(pml::TransportKind::kProc));
-  expect_identical(thread_r, proc_r);
+  expect_identical(thread_r, proc_r, "proc");
+  const auto tcp_r =
+      louvain(GraphSource::from_stream(slice, n), opts_for(pml::TransportKind::kTcp));
+  expect_identical(thread_r, tcp_r, "tcp");
 }
 
 TEST_F(TransportEquivalence, EnvOverrideWinsOverOptions) {
@@ -105,6 +121,14 @@ TEST_F(TransportEquivalence, EnvOverrideWinsOverOptions) {
                          opts_for(pml::TransportKind::kThread));
   unsetenv("PLV_TRANSPORT");
   EXPECT_EQ(r.transport, "proc");
+}
+
+TEST_F(TransportEquivalence, EnvOverrideSelectsTcp) {
+  setenv("PLV_TRANSPORT", "tcp", 1);
+  const auto r = louvain(GraphSource::from_edges(lfr_input()),
+                         opts_for(pml::TransportKind::kThread));
+  unsetenv("PLV_TRANSPORT");
+  EXPECT_EQ(r.transport, "tcp");
 }
 
 }  // namespace

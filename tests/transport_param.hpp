@@ -50,13 +50,16 @@ class ScopedTransportEnv {
   std::string saved_;
 };
 
-/// Every backend a parameterized suite should cover.
-inline constexpr TransportKind kAllTransports[] = {TransportKind::kThread,
-                                                   TransportKind::kProc};
+/// Every backend a parameterized suite should cover. The tcp entry runs
+/// the loopback self-test fleet (TcpOptions defaults): forked ranks over
+/// 127.0.0.1 ephemeral ports, no configuration.
+inline constexpr TransportKind kAllTransports[] = {
+    TransportKind::kThread, TransportKind::kProc, TransportKind::kTcp};
 
 // ThreadSanitizer cannot follow fork(): the child inherits a snapshot of
 // the TSan runtime's internal state and deadlocks or reports spurious
-// races. Proc-transport parameterizations skip under TSan builds.
+// races. The proc and tcp-loopback parameterizations both fork, so both
+// skip under TSan builds.
 #if defined(__SANITIZE_THREAD__)
 #define PLV_TSAN_ENABLED 1
 #elif defined(__has_feature)
@@ -71,21 +74,22 @@ inline constexpr TransportKind kAllTransports[] = {TransportKind::kThread,
 
 [[nodiscard]] inline constexpr bool transport_supported_in_this_build(
     TransportKind kind) {
-  return !(PLV_TSAN_ENABLED && kind == TransportKind::kProc);
+  return !(PLV_TSAN_ENABLED && (kind == TransportKind::kProc ||
+                                kind == TransportKind::kTcp));
 }
 
 /// GTEST_SKIP (must run in the test body or SetUp) when `kind` cannot run
 /// in this build.
-#define PLV_SKIP_IF_UNSUPPORTED(kind)                                       \
-  do {                                                                      \
-    if (!::plv::pml::transport_supported_in_this_build(kind)) {             \
-      GTEST_SKIP() << "proc transport skipped under ThreadSanitizer: TSan " \
-                      "cannot follow fork() (the child inherits a "         \
-                      "snapshot of TSan's shadow state and deadlocks); "    \
-                      "the forked-child path gets its sanitizer coverage "  \
-                      "from the ASan+UBSan CI leg (PLV_SANITIZE), where "   \
-                      "proc runs in full";                                  \
-    }                                                                       \
+#define PLV_SKIP_IF_UNSUPPORTED(kind)                                        \
+  do {                                                                       \
+    if (!::plv::pml::transport_supported_in_this_build(kind)) {              \
+      GTEST_SKIP() << "forking transport skipped under ThreadSanitizer: "    \
+                      "TSan cannot follow fork() (the child inherits a "     \
+                      "snapshot of TSan's shadow state and deadlocks); "     \
+                      "the forked-child path gets its sanitizer coverage "   \
+                      "from the ASan+UBSan CI legs (PLV_SANITIZE), where "   \
+                      "proc and tcp run in full";                            \
+    }                                                                        \
   } while (0)
 
 /// Throw-based check for use inside rank bodies (see header comment).

@@ -11,7 +11,10 @@ about *this* codebase's architecture, not the language:
       src/core, src/pml, src/hashing. Their per-find pointer chase and
       allocation churn is exactly what the paper's flat open-addressed
       tables exist to avoid; common/flat_map.hpp is the sanctioned
-      container (and lives outside the banned directories).
+      container (and lives outside the banned directories). The directory
+      rules cover every transport backend as it lands — transport_proc.cpp,
+      transport_tcp.cpp, and the shared transport_socket.hpp frame pump
+      are all under src/pml.
 
   raw-chunk-release
       Chunk nodes live and die on the pool API (Transport::acquire_chunk /
