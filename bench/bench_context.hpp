@@ -18,9 +18,11 @@
 
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "pml/transport.hpp"
 #include "pml/transport_check.hpp"
+#include "pml/transport_hybrid.hpp"
 
 namespace plv::bench {
 
@@ -46,9 +48,21 @@ namespace plv::bench {
 [[nodiscard]] inline bool stamp_context_and_gate(bool machine_output) {
   const char* sanitizer = pml::active_sanitizer_name();
   const bool validating = validation_active();
-  benchmark::AddCustomContext(
-      "transport",
-      pml::transport_kind_name(pml::resolve_transport(pml::TransportKind::kThread)));
+  const auto kind = pml::resolve_transport(pml::TransportKind::kThread);
+  benchmark::AddCustomContext("transport", pml::transport_kind_name(kind));
+  // Topology axis: single-tier backends run flat collectives; a hybrid
+  // binary runs the resolved group shape (PLV_RANKS_PER_PROC), unless the
+  // A/B baseline forces flat collectives over the composed substrate.
+  // Benches that pin an explicit HybridOptions fleet (micro_pml's hier
+  // A/B) label their variants in the benchmark name instead.
+  std::string topology = "flat";
+  if (kind == pml::TransportKind::kHybrid) {
+    const auto hybrid = pml::resolve_hybrid_options({});
+    topology = hybrid.flat_collectives
+                   ? "flat-collectives"
+                   : "groups-of-" + std::to_string(hybrid.ranks_per_proc);
+  }
+  benchmark::AddCustomContext("topology", topology);
   benchmark::AddCustomContext("validation", validating ? "on" : "off");
   benchmark::AddCustomContext("sanitizer", sanitizer);
   if (machine_output && (validating || std::strcmp(sanitizer, "none") != 0)) {

@@ -50,21 +50,28 @@ int usage() {
       "         er:   --n N --m M --seed S\n"
       "  stats  --graph FILE\n"
       "  detect --graph FILE [--engine par|seq|lp] [--ranks N]\n"
-      "         [--transport thread|proc|tcp] [--resolution G]\n"
-      "         [--hosts host:port,...] [--rank R]\n"
+      "         [--transport thread|proc|tcp|hybrid] [--resolution G]\n"
+      "         [--hosts host:port,...] [--rank R] [--ranks-per-proc N]\n"
       "         [--validate] [--out FILE] [--tree FILE] [--warm FILE]\n"
-      "  bfs    --graph FILE --root R [--ranks N] [--transport thread|proc|tcp]\n"
-      "  cc     --graph FILE [--ranks N] [--transport thread|proc|tcp]\n"
-      "  sssp   --graph FILE --root R [--ranks N] [--transport thread|proc|tcp]\n"
+      "  bfs    --graph FILE --root R [--ranks N]\n"
+      "         [--transport thread|proc|tcp|hybrid]\n"
+      "  cc     --graph FILE [--ranks N] [--transport thread|proc|tcp|hybrid]\n"
+      "  sssp   --graph FILE --root R [--ranks N]\n"
+      "         [--transport thread|proc|tcp|hybrid]\n"
       "Multi-host tcp: run the same command on every host with the same\n"
       "--hosts list (one host:port per rank, entry index = rank) and that\n"
       "host's --rank R; each invocation is one rank of the fleet. With\n"
       "--transport tcp and no --hosts, a single invocation runs the whole\n"
       "fleet over 127.0.0.1 (the loopback self-test). Only rank 0 prints\n"
       "the detect metrics in a multi-host run.\n"
+      "Hybrid transport: --transport hybrid nests thread ranks inside\n"
+      "forked processes (--ranks-per-proc N consecutive ranks per process,\n"
+      "default 2) and runs the collectives hierarchically over the\n"
+      "two-tier topology.\n"
       "The PLV_TRANSPORT environment variable overrides --transport,\n"
-      "PLV_HOSTS/PLV_RANK override --hosts/--rank, and PLV_VALIDATE (or\n"
-      "PLV_PARANOID) overrides --validate.\n";
+      "PLV_HOSTS/PLV_RANK override --hosts/--rank, PLV_RANKS_PER_PROC\n"
+      "overrides --ranks-per-proc, and PLV_VALIDATE (or PLV_PARANOID)\n"
+      "overrides --validate.\n";
   return 2;
 }
 
@@ -90,6 +97,9 @@ plv::core::ParOptions par_opts(const plv::Cli& cli) {
     opts.nranks = static_cast<int>(opts.hosts.size());
   }
   opts.tcp_rank = static_cast<int>(cli.get_int("rank", -1));
+  // Hybrid group shape: N consecutive ranks share one forked process
+  // (0 keeps the PLV_RANKS_PER_PROC / built-in default).
+  opts.ranks_per_proc = static_cast<int>(cli.get_int("ranks-per-proc", 0));
   return opts;
 }
 

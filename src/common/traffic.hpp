@@ -17,6 +17,11 @@ struct TrafficStats {
   std::uint64_t bytes_sent{0};
   std::uint64_t chunks_sent{0};
   std::uint64_t collectives{0};
+  /// Messages that crossed a topology-group boundary (with the trivial
+  /// topology: every remote message; per collective, one per rank outside
+  /// the group). The locality metric the hierarchical collectives cut —
+  /// inter-group lanes are the expensive tier of a composed transport.
+  std::uint64_t inter_group_messages{0};
 
   TrafficStats& operator+=(const TrafficStats& o) noexcept {
     records_sent += o.records_sent;
@@ -24,6 +29,7 @@ struct TrafficStats {
     bytes_sent += o.bytes_sent;
     chunks_sent += o.chunks_sent;
     collectives += o.collectives;
+    inter_group_messages += o.inter_group_messages;
     return *this;
   }
 };
@@ -38,6 +44,7 @@ struct TrafficStats {
   d.bytes_sent = after.bytes_sent - before.bytes_sent;
   d.chunks_sent = after.chunks_sent - before.chunks_sent;
   d.collectives = after.collectives - before.collectives;
+  d.inter_group_messages = after.inter_group_messages - before.inter_group_messages;
   return d;
 }
 

@@ -1004,15 +1004,13 @@ ParResult run_levels(pml::Comm& comm, RankEngine& engine, vid_t n, const ParOpti
   }
   std::iota(result.final_labels.begin(), result.final_labels.end(), vid_t{0});
 
-  // All five TrafficStats fields reduce together in one collective round
+  // All TrafficStats fields reduce together in one collective round
   // (they used to be five separate allreduces of skew per level).
   const auto sum_traffic = [&comm](const TrafficStats& local) {
     return comm.allreduce(local, [](const TrafficStats& a, const TrafficStats& b) {
-      return TrafficStats{a.records_sent + b.records_sent,
-                          a.records_received + b.records_received,
-                          a.bytes_sent + b.bytes_sent,
-                          a.chunks_sent + b.chunks_sent,
-                          a.collectives + b.collectives};
+      TrafficStats sum = a;
+      sum += b;
+      return sum;
     });
   };
 
@@ -1099,7 +1097,8 @@ ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
           result = std::move(local);
         }
       },
-      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options());
+      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
+      opts.hybrid_options());
   return result;
 }
 
@@ -1124,7 +1123,8 @@ ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of, vid_t n_vertice
           result = std::move(local);
         }
       },
-      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options());
+      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
+      opts.hybrid_options());
   return result;
 }
 
@@ -1144,7 +1144,8 @@ ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
           result = std::move(local);
         }
       },
-      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options());
+      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
+      opts.hybrid_options());
   return result;
 }
 

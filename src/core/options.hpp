@@ -13,6 +13,7 @@
 #include "hashing/hash_fns.hpp"
 #include "pml/transport.hpp"
 #include "pml/transport_check.hpp"
+#include "pml/transport_hybrid.hpp"
 #include "pml/transport_tcp.hpp"
 
 namespace plv::core {
@@ -110,6 +111,23 @@ struct ParOptions {
     tcp.hosts = hosts;
     tcp.self_rank = tcp_rank;
     return tcp;
+  }
+
+  // Hybrid composed-transport shape (kHybrid only; see pml::HybridOptions):
+  // consecutive blocks of `ranks_per_proc` ranks share one forked process
+  // as threads, and Comm runs the two-level hierarchical collectives over
+  // that topology. 0 = auto (PLV_RANKS_PER_PROC, else 2). flat_collectives
+  // keeps the composed substrate but publishes the trivial topology — the
+  // flat-protocol A/B baseline (PLV_FLAT_COLLECTIVES=1 overrides).
+  int ranks_per_proc{0};
+  bool flat_collectives{false};
+
+  /// The pml launch options the configured hybrid knobs describe.
+  [[nodiscard]] pml::HybridOptions hybrid_options() const {
+    pml::HybridOptions hybrid;
+    hybrid.ranks_per_proc = ranks_per_proc;
+    hybrid.flat_collectives = flat_collectives;
+    return hybrid;
   }
 
   // Protocol verification: wrap every rank's transport in the
@@ -256,10 +274,34 @@ struct ParOptions {
     }
     if (transport != pml::TransportKind::kThread &&
         transport != pml::TransportKind::kProc &&
-        transport != pml::TransportKind::kTcp) {
+        transport != pml::TransportKind::kTcp &&
+        transport != pml::TransportKind::kHybrid) {
       fail("transport holds an invalid TransportKind value " +
            std::to_string(static_cast<int>(transport)) +
-           " (valid: kThread, kProc, kTcp)");
+           " (valid: kThread, kProc, kTcp, kHybrid)");
+    }
+    // Hybrid topology shape: catch an inconsistent fleet here, on the
+    // caller, instead of mid-fork inside the launcher.
+    if (ranks_per_proc < 0) {
+      fail("ranks_per_proc must be >= 1 (or 0 for auto), got " +
+           std::to_string(ranks_per_proc));
+    }
+    if (transport != pml::TransportKind::kHybrid) {
+      if (ranks_per_proc != 0) {
+        fail("ranks_per_proc is set (" + std::to_string(ranks_per_proc) +
+             ") but transport is not kHybrid; the group shape only applies to "
+             "the hybrid composed backend");
+      }
+      if (flat_collectives) {
+        fail("flat_collectives is set but transport is not kHybrid; the other "
+             "backends publish the trivial topology and run the flat "
+             "collectives already");
+      }
+    } else if (ranks_per_proc != 0 && nranks % ranks_per_proc != 0) {
+      fail("ranks_per_proc " + std::to_string(ranks_per_proc) +
+           " does not divide nranks " + std::to_string(nranks) +
+           "; hybrid groups are equal consecutive blocks (one forked process "
+           "hosting ranks_per_proc thread ranks each)");
     }
     // TCP mesh shape: catch a fleet that could never connect here, on the
     // caller, instead of five seconds later inside connect().
@@ -271,7 +313,8 @@ struct ParOptions {
       if (!hosts.empty()) {
         fail("hosts is set (" + std::to_string(hosts.size()) +
              " entries) but transport is not kTcp; a host list only applies to "
-             "the tcp backend");
+             "the tcp backend (the hybrid backend forks its process groups "
+             "locally — a multi-host hybrid tier is not supported)");
       }
       if (tcp_rank != -1) {
         fail("tcp_rank is set (" + std::to_string(tcp_rank) +

@@ -1,0 +1,55 @@
+// Hybrid composed launcher (implementation in transport_hybrid.cpp).
+//
+// Declared separately so comm.hpp can dispatch Runtime::run to the hybrid
+// backend without pulling the POSIX machinery into every translation
+// unit. The substrate nests the thread tier inside the socket tier: the
+// fleet is split into groups of `ranks_per_proc` consecutive ranks, each
+// group is one forked process hosting its ranks as threads, and every
+// rank owns a SocketFrameTransport over a pre-fork socketpair mesh for
+// the fine-grained plane. The group tier adds a shared-memory collective
+// plane (span slots + a pump-aware group barrier), and the transport
+// publishes the non-trivial Topology that switches Comm onto the
+// two-level hierarchical collectives.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace plv::pml {
+
+class Comm;
+
+/// Shape of a hybrid run. `ranks_per_proc` consecutive ranks share one
+/// forked process (the last group may be ragged when it does not divide
+/// nranks); 0 = auto (PLV_RANKS_PER_PROC, else 2). `flat_collectives`
+/// keeps the composed substrate but reports the trivial topology, so Comm
+/// stays on the flat collectives/quiescence protocol — the A/B baseline
+/// the hierarchical path is benchmarked against (PLV_FLAT_COLLECTIVES=1
+/// forces it).
+struct HybridOptions {
+  int ranks_per_proc{0};        ///< thread ranks per forked process; 0 = auto
+  bool flat_collectives{false}; ///< report a trivial topology (A/B baseline)
+};
+
+/// Applies the PLV_RANKS_PER_PROC / PLV_FLAT_COLLECTIVES environment
+/// overrides (if set and non-empty) on top of the configured options, and
+/// resolves ranks_per_proc 0 to its default of 2 — same precedence rule
+/// as resolve_transport, so one environment re-targets a whole binary.
+[[nodiscard]] HybridOptions resolve_hybrid_options(HybridOptions requested);
+
+namespace detail {
+
+/// Runs `body` on every rank of a hybrid fleet: forked group processes
+/// (group 0's ranks run as threads of the caller, so rank-0 result
+/// capture into caller-scope variables keeps working) with
+/// `hybrid.ranks_per_proc` rank threads each, wired by a full socketpair
+/// mesh. Fail-fast mirrors the proc backend: the first failing rank
+/// aborts the fleet; remote failures re-raise on the caller as
+/// RemoteRankError naming the failed rank. With `validate`, each rank's
+/// transport is wrapped in a ValidatingTransport.
+void run_hybrid_ranks(int nranks, const std::function<void(Comm&)>& body, bool validate,
+                      const HybridOptions& hybrid);
+
+}  // namespace detail
+}  // namespace plv::pml

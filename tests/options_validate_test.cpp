@@ -211,6 +211,69 @@ TEST(OptionsValidate, RejectsMalformedHostEntries) {
   expect_rejected(opts, "hosts");
 }
 
+TEST(OptionsValidate, HybridDefaultsAreValid) {
+  // kHybrid with ranks_per_proc 0 defers the group shape to
+  // PLV_RANKS_PER_PROC / the built-in default — what CI's hybrid leg runs.
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kHybrid;
+  EXPECT_NO_THROW(opts.validate());
+  opts.nranks = 8;
+  opts.ranks_per_proc = 2;
+  EXPECT_NO_THROW(opts.validate());
+  opts.flat_collectives = true;  // the A/B baseline is a legal run mode
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsRanksPerProcOnNonHybridTransports) {
+  ParOptions opts;
+  opts.ranks_per_proc = 2;
+  opts.transport = pml::TransportKind::kThread;
+  expect_rejected(opts, "ranks_per_proc");
+  opts.transport = pml::TransportKind::kProc;
+  expect_rejected(opts, "ranks_per_proc");
+  opts.transport = pml::TransportKind::kTcp;
+  expect_rejected(opts, "ranks_per_proc");
+}
+
+TEST(OptionsValidate, RejectsNegativeRanksPerProc) {
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kHybrid;
+  opts.ranks_per_proc = -2;
+  expect_rejected(opts, "ranks_per_proc");
+}
+
+TEST(OptionsValidate, RejectsNonDividingRanksPerProc) {
+  // Hybrid groups are equal consecutive blocks; a ragged shape would make
+  // the leader set ambiguous across the documentation and benches.
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kHybrid;
+  opts.nranks = 8;
+  opts.ranks_per_proc = 3;
+  expect_rejected(opts, "ranks_per_proc");
+  opts.ranks_per_proc = 8;  // one group holding the whole fleet is fine
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsFlatCollectivesOnNonHybridTransports) {
+  ParOptions opts;
+  opts.flat_collectives = true;
+  opts.transport = pml::TransportKind::kThread;
+  expect_rejected(opts, "flat_collectives");
+  opts.transport = pml::TransportKind::kTcp;
+  expect_rejected(opts, "flat_collectives");
+}
+
+TEST(OptionsValidate, RejectsHostsOnHybridTransport) {
+  // The hybrid backend forks its process groups locally; a host list
+  // (the multi-host tcp launcher's knob) cannot apply to it.
+  ParOptions opts;
+  opts.transport = pml::TransportKind::kHybrid;
+  opts.nranks = 2;
+  opts.hosts = {"a:1", "b:2"};
+  opts.tcp_rank = 0;
+  expect_rejected(opts, "hosts");
+}
+
 TEST(OptionsValidate, EntryPointsRejectBeforeSpawningRanks) {
   // The front door must surface the validation error directly (no rank
   // fleet, no wrapped exception).

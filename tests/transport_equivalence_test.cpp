@@ -6,12 +6,17 @@
 // ranks over 127.0.0.1 ephemeral ports).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <future>
 #include <string>
+#include <utility>
 
 #include "common/louvain.hpp"
 #include "core/louvain_par.hpp"
 #include "gen/lfr.hpp"
+#include "pml/comm.hpp"
 #include "transport_param.hpp"
 
 namespace plv {
@@ -37,6 +42,16 @@ core::ParOptions opts_for(pml::TransportKind kind) {
   core::ParOptions opts;
   opts.nranks = 4;
   opts.transport = kind;
+  return opts;
+}
+
+/// A 4-rank hybrid fleet, two thread ranks per forked process (2x2).
+/// `flat` keeps the composed substrate but runs the flat collectives —
+/// the hierarchical path's A/B baseline.
+core::ParOptions hybrid_opts(bool flat = false) {
+  core::ParOptions opts = opts_for(pml::TransportKind::kHybrid);
+  opts.ranks_per_proc = 2;
+  opts.flat_collectives = flat;
   return opts;
 }
 
@@ -115,6 +130,78 @@ TEST_F(TransportEquivalence, StreamedIngestIsBitIdentical) {
   expect_identical(thread_r, tcp_r, "tcp");
 }
 
+TEST_F(TransportEquivalence, HybridColdStartIsBitIdentical) {
+  // The composed two-tier backend — hierarchical collectives and the
+  // counted-settlement quiescence protocol — must reproduce the flat
+  // thread reference bit for bit: the (group, rank-in-group) combine
+  // order over consecutive-block groups IS global rank order.
+  const auto thread_r = louvain(GraphSource::from_edges(lfr_input()),
+                                opts_for(pml::TransportKind::kThread));
+  const auto hybrid_r = louvain(GraphSource::from_edges(lfr_input()), hybrid_opts());
+  expect_identical(thread_r, hybrid_r, "hybrid");
+}
+
+TEST_F(TransportEquivalence, HybridHierarchicalMatchesHybridFlat) {
+  // Same substrate, both collective disciplines: flat_collectives keeps
+  // the composed transport but publishes the trivial topology (flat
+  // collectives + marker quiescence), so any artifact difference would
+  // be the hierarchical path's fault specifically.
+  const auto flat_r =
+      louvain(GraphSource::from_edges(lfr_input()), hybrid_opts(/*flat=*/true));
+  const auto hier_r = louvain(GraphSource::from_edges(lfr_input()), hybrid_opts());
+  EXPECT_EQ(flat_r.final_modularity, hier_r.final_modularity);
+  EXPECT_EQ(flat_r.final_labels, hier_r.final_labels);
+  ASSERT_EQ(flat_r.num_levels(), hier_r.num_levels());
+  for (std::size_t l = 0; l < flat_r.num_levels(); ++l) {
+    EXPECT_EQ(flat_r.levels[l].labels, hier_r.levels[l].labels) << "level " << l;
+    EXPECT_EQ(flat_r.levels[l].modularity, hier_r.levels[l].modularity)
+        << "level " << l;
+  }
+  // The headline locality win: with 2x2 groups, each collective crosses
+  // the group boundary once per peer leader instead of once per remote
+  // rank, so the hierarchical run must strictly cut inter-group traffic.
+  EXPECT_LT(hier_r.traffic.inter_group_messages, flat_r.traffic.inter_group_messages);
+  EXPECT_GT(hier_r.traffic.inter_group_messages, 0u);
+}
+
+TEST_F(TransportEquivalence, SigkilledGroupMemberUnwindsFleetPromptly) {
+  // Fault injection at the process level: a non-leader member of a
+  // forked group dies without unwinding (SIGKILL, no Goodbye, no abort
+  // frame). Survivors must see the EOF, abort, and the caller must get a
+  // RemoteRankError naming a rank of the dead group — promptly, not
+  // after a timeout.
+  using pml::Comm;
+  auto fut = std::async(std::launch::async, [] {
+    pml::Runtime::run(
+        4,
+        [](Comm& comm) {
+          if (comm.rank() == 3) {
+            (void)::raise(SIGKILL);  // takes down the whole group process
+          }
+          for (int i = 0; i < 1'000'000; ++i) comm.barrier();
+        },
+        pml::TransportKind::kHybrid, /*validate=*/false, {},
+        pml::HybridOptions{.ranks_per_proc = 2, .flat_collectives = false});
+  });
+  if (fut.wait_for(std::chrono::seconds(5)) != std::future_status::ready) {
+    // Leak the future on purpose: joining a hung run would wedge the
+    // whole test binary.
+    new std::future<void>(std::move(fut));
+    FAIL() << "hybrid fleet did not unwind within 5s of a SIGKILLed member";
+  }
+  try {
+    fut.get();
+    FAIL() << "expected a RemoteRankError";
+  } catch (const pml::RemoteRankError& e) {
+    // Rank 3 dies mid-signal, taking sibling rank 2 with it; the parent
+    // decodes the wait status against the group, whose report names its
+    // leader (rank 2).
+    EXPECT_TRUE(e.rank == 2 || e.rank == 3) << e.what();
+    EXPECT_NE(std::string(e.what()).find("killed by signal"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST_F(TransportEquivalence, EnvOverrideWinsOverOptions) {
   setenv("PLV_TRANSPORT", "proc", 1);
   const auto r = louvain(GraphSource::from_edges(lfr_input()),
@@ -129,6 +216,18 @@ TEST_F(TransportEquivalence, EnvOverrideSelectsTcp) {
                          opts_for(pml::TransportKind::kThread));
   unsetenv("PLV_TRANSPORT");
   EXPECT_EQ(r.transport, "tcp");
+}
+
+TEST_F(TransportEquivalence, EnvOverrideSelectsHybrid) {
+  setenv("PLV_TRANSPORT", "hybrid", 1);
+  const auto r = louvain(GraphSource::from_edges(lfr_input()),
+                         opts_for(pml::TransportKind::kThread));
+  unsetenv("PLV_TRANSPORT");
+  EXPECT_EQ(r.transport, "hybrid");
+  // The env-selected hybrid run is still the same deterministic artifact.
+  const auto thread_r = louvain(GraphSource::from_edges(lfr_input()),
+                                opts_for(pml::TransportKind::kThread));
+  EXPECT_EQ(thread_r.final_labels, r.final_labels);
 }
 
 }  // namespace

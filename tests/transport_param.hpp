@@ -52,9 +52,13 @@ class ScopedTransportEnv {
 
 /// Every backend a parameterized suite should cover. The tcp entry runs
 /// the loopback self-test fleet (TcpOptions defaults): forked ranks over
-/// 127.0.0.1 ephemeral ports, no configuration.
+/// 127.0.0.1 ephemeral ports, no configuration. The hybrid entry runs
+/// the composed two-tier fleet (HybridOptions defaults: groups of 2
+/// thread ranks per forked process), which exercises the hierarchical
+/// collectives and the counted-settlement quiescence protocol.
 inline constexpr TransportKind kAllTransports[] = {
-    TransportKind::kThread, TransportKind::kProc, TransportKind::kTcp};
+    TransportKind::kThread, TransportKind::kProc, TransportKind::kTcp,
+    TransportKind::kHybrid};
 
 // ThreadSanitizer cannot follow fork(): the child inherits a snapshot of
 // the TSan runtime's internal state and deadlocks or reports spurious
@@ -74,8 +78,9 @@ inline constexpr TransportKind kAllTransports[] = {
 
 [[nodiscard]] inline constexpr bool transport_supported_in_this_build(
     TransportKind kind) {
-  return !(PLV_TSAN_ENABLED && (kind == TransportKind::kProc ||
-                                kind == TransportKind::kTcp));
+  return !(PLV_TSAN_ENABLED &&
+           (kind == TransportKind::kProc || kind == TransportKind::kTcp ||
+            kind == TransportKind::kHybrid));
 }
 
 /// GTEST_SKIP (must run in the test body or SetUp) when `kind` cannot run

@@ -2,8 +2,8 @@
 """Repo-specific lint rules that clang-tidy cannot express.
 
 clang-tidy (driven by the .clang-tidy config at the repo root) covers the
-generic C++ hygiene; this script enforces the three invariants that are
-about *this* codebase's architecture, not the language:
+generic C++ hygiene; this script enforces the invariants that are about
+*this* codebase's architecture, not the language:
 
   map-ban
       std::map / std::unordered_map (and their multi* variants, and the
@@ -32,6 +32,20 @@ about *this* codebase's architecture, not the language:
       markers) deadlocks the phase — every call site of
       drain_streaming_finalized must be preceded by flush_all_final, not
       flush_all, as the nearest aggregator flush.
+
+  leader-collective-pairing
+      Transport::leader_alltoallv is the leaders-only inter-group plane of
+      the hierarchical collectives: a non-leader that reaches it throws
+      kLeaderOnlyCollective under validation, and a leader that calls it
+      without the group_alltoallv up/down phases silently drops every
+      non-leader's contribution. The textual check: each
+      `.leader_alltoallv(` / `->leader_alltoallv(` call site must have an
+      is_leader token within the preceding lines (the guard) and a
+      group_alltoallv call somewhere in the same file (the pairing).
+      Definitions and member-pointer uses (the transports implementing
+      the seam, the checker's dispatch table) don't match the call-site
+      pattern and need no exemption; deliberate-violation tests carry
+      allow markers.
 
 Matching is textual but comment- and string-aware: // and /* */ comments
 and string literals are blanked before the rules run, so prose mentioning
@@ -72,6 +86,14 @@ RECYCLE_RE = re.compile(r"(?:\.|->)\s*recycle\s*\(")
 # declarations of these members in comm.hpp / aggregator.hpp don't match.
 FINAL_DRAIN_CALL_RE = re.compile(r"(?:\.|->)\s*drain_streaming_finalized\s*[<(]")
 FLUSH_CALL_RE = re.compile(r"(?:\.|->)\s*(flush_all(?:_final)?)\s*\(")
+LEADER_CALL_RE = re.compile(r"(?:\.|->)\s*leader_alltoallv\s*\(")
+GROUP_CALL_RE = re.compile(r"(?:\.|->)\s*group_alltoallv\s*\(")
+IS_LEADER_RE = re.compile(r"\bis_leader\b")
+# How far above a leader_alltoallv call the is_leader guard may sit. The
+# real call site (Comm::hier_alltoallv's cross phase) stages the leader
+# blobs between the branch and the call, so the window is generous; it
+# only needs to be smaller than the distance to an unrelated function.
+LEADER_GUARD_WINDOW = 80
 
 ALLOW_RE = re.compile(r"plv-lint:\s*allow\(([\w,\s-]+)\)")
 
@@ -215,6 +237,39 @@ class Linter:
                         "drain_streaming_finalized paired with flush_all(); "
                         "the finalized drain sends no markers, so the "
                         "aggregator must be flushed with flush_all_final()",
+                    )
+
+        # leader-collective-pairing: every leader_alltoallv call site needs
+        # an is_leader guard above it and a group_alltoallv pairing in the
+        # file (see module docstring).
+        if rel.startswith(AGG_DIRS):
+            has_group_call = GROUP_CALL_RE.search(code) is not None
+            for m in LEADER_CALL_RE.finditer(code):
+                line_no = code.count("\n", 0, m.start()) + 1
+                raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+                # Call expressions span lines, so the allow marker may sit
+                # on its own comment line directly above the call.
+                prev_raw = raw_lines[line_no - 2] if line_no >= 2 else ""
+                if (allowed(raw_line, "leader-collective-pairing")
+                        or allowed(prev_raw, "leader-collective-pairing")):
+                    continue
+                window = "\n".join(
+                    code_lines[max(0, line_no - 1 - LEADER_GUARD_WINDOW):line_no - 1])
+                if not IS_LEADER_RE.search(window):
+                    self.report(
+                        path, line_no, "leader-collective-pairing",
+                        "leader_alltoallv call without an is_leader guard "
+                        "above it; the inter-group plane is leaders-only "
+                        "(non-leaders throw kLeaderOnlyCollective under "
+                        "validation)",
+                    )
+                    continue
+                if not has_group_call:
+                    self.report(
+                        path, line_no, "leader-collective-pairing",
+                        "leader_alltoallv call without a group_alltoallv "
+                        "pairing in the file; a lone cross phase drops every "
+                        "non-leader's contribution (no up/down phases)",
                     )
 
     def run(self) -> int:
