@@ -36,7 +36,7 @@ int main() {
         opts.hash = hash;
         opts.table_max_load = load;
         plv::WallTimer t;
-        const auto r = plv::core::louvain_parallel(edges, n, opts);
+        const auto r = plv::louvain(plv::GraphSource::from_edges(edges, n), opts);
         table.row()
             .add(part == PK::kCyclic ? "cyclic" : "block")
             .add(plv::hashing::hash_kind_name(hash))

@@ -29,7 +29,7 @@ RunStats run(const plv::graph::EdgeList& edges, plv::vid_t n,
   opts.threshold = model;
   opts.p1 = p1;
   opts.p2 = p2;
-  const auto r = plv::core::louvain_parallel(edges, n, opts);
+  const auto r = plv::louvain(plv::GraphSource::from_edges(edges, n), opts);
   RunStats s{r.final_modularity, r.num_levels(), 0, 0.0};
   for (const auto& level : r.levels) {
     s.inner_iters += level.trace.moved_fraction.size();

@@ -51,7 +51,7 @@ int main() {
     plv::core::ParOptions popts;
     popts.nranks = 4;
     t.reset();
-    const auto lp_par = plv::core::louvain_parallel(graph.edges, graph.n, popts);
+    const auto lp_par = plv::louvain(plv::GraphSource::from_edges(graph.edges, graph.n), popts);
     add("louvain-par", t.seconds(), lp_par.final_labels);
 
     t.reset();

@@ -55,7 +55,7 @@ int main() {
         opts.threshold = plv::core::ThresholdModel::kNone;
         opts.max_inner_iterations = 24;  // naive may oscillate; cap it
       }
-      const auto r = plv::core::louvain_parallel(graph.edges, graph.n, opts);
+      const auto r = plv::louvain(plv::GraphSource::from_edges(graph.edges, graph.n), opts);
       Run run{heuristic ? "parallel+heuristic" : "parallel-naive", {}, {},
               r.final_modularity, r.num_levels(), 0};
       double n_prev = static_cast<double>(graph.n);

@@ -27,7 +27,7 @@ int main() {
     const auto seq = plv::seq::louvain(csr);
     plv::core::ParOptions opts;
     opts.nranks = 4;
-    const auto par = plv::core::louvain_parallel(graph.edges, graph.n, opts);
+    const auto par = plv::louvain(plv::GraphSource::from_edges(graph.edges, graph.n), opts);
 
     auto d_seq = plv::metrics::size_distribution_log2(seq.final_labels);
     auto d_par = plv::metrics::size_distribution_log2(par.final_labels);

@@ -30,7 +30,7 @@ int main() {
 
   plv::core::ParOptions opts;
   opts.nranks = 4;
-  const auto r = plv::core::louvain_parallel(g.edges, p.n, opts);
+  const auto r = plv::louvain(plv::GraphSource::from_edges(g.edges, p.n), opts);
 
   // (a) Outer-loop breakdown: per level, REFINE (sum of inner phases) vs
   // GRAPH RECONSTRUCTION (level total minus refine).
@@ -83,7 +83,7 @@ int main() {
   // trajectory.
   plv::core::ParOptions legacy = opts;
   legacy.full_rebuild_every = 1;
-  const auto r_legacy = plv::core::louvain_parallel(g.edges, p.n, legacy);
+  const auto r_legacy = plv::louvain(plv::GraphSource::from_edges(g.edges, p.n), legacy);
   auto total_prop_records = [](const plv::core::ParResult& res) {
     std::uint64_t sum = 0;
     for (const auto& level : res.levels) {

@@ -44,7 +44,7 @@ void BM_RefineInnerLoop(benchmark::State& state) {
   std::uint64_t prop_records = 0;
   std::uint64_t runs = 0;
   for (auto _ : state) {
-    const auto r = plv::core::louvain_parallel(workload(), 4000, opts);
+    const auto r = plv::louvain(plv::GraphSource::from_edges(workload(), 4000), opts);
     benchmark::DoNotOptimize(r.final_modularity);
     refine_s += r.timers.get(plv::phase::kRefine);
     prop_s += r.timers.get(plv::phase::kStatePropagation);
@@ -84,7 +84,7 @@ void BM_OverlapAB(benchmark::State& state) {
   std::uint64_t iterations = 0;
   std::uint64_t runs = 0;
   for (auto _ : state) {
-    const auto r = plv::core::louvain_parallel(edges, n, opts);
+    const auto r = plv::louvain(plv::GraphSource::from_edges(edges, n), opts);
     benchmark::DoNotOptimize(r.final_modularity);
     refine_s += r.timers.get(plv::phase::kRefine);
     find_s += r.timers.get(plv::phase::kFindBestCommunity);

@@ -194,7 +194,7 @@ void BM_HierRefineRoundsAB(benchmark::State& state) {
   std::uint64_t iterations = 0;
   std::uint64_t runs = 0;
   for (auto _ : state) {
-    const auto r = plv::core::louvain_parallel(hier_workload(), 1000, opts);
+    const auto r = plv::louvain(plv::GraphSource::from_edges(hier_workload(), 1000), opts);
     benchmark::DoNotOptimize(r.final_modularity);
     collectives += r.traffic.collectives;
     inter_group += r.traffic.inter_group_messages;

@@ -22,7 +22,7 @@ void add_row(plv::TextTable& table, const std::string& name,
   const auto seq = plv::seq::louvain(csr);
   plv::core::ParOptions opts;
   opts.nranks = 4;
-  const auto par = plv::core::louvain_parallel(edges, n, opts);
+  const auto par = plv::louvain(plv::GraphSource::from_edges(edges, n), opts);
   const auto s = plv::metrics::similarity(par.final_labels, seq.final_labels);
   table.row()
       .add(name)

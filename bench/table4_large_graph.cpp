@@ -29,7 +29,7 @@ int main() {
   plv::core::ParOptions opts;
   opts.nranks = 4;
   plv::WallTimer t;
-  const auto r = plv::core::louvain_parallel(g.edges, p.n, opts);
+  const auto r = plv::louvain(plv::GraphSource::from_edges(g.edges, p.n), opts);
   const double seconds = t.seconds();
 
   plv::TextTable table({"Reference", "Time", "Modularity", "Processors", "System"});

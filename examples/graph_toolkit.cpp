@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       std::to_string(sssp.rounds) + " rounds");
 
   t.reset();
-  const auto louvain = plv::core::louvain_parallel(edges, n, opts);
+  const auto louvain = plv::louvain(plv::GraphSource::from_edges(edges, n), opts);
   table.row().add("Louvain communities").add(t.seconds()).add(
       std::to_string(plv::metrics::count_communities(louvain.final_labels)) +
       " communities, Q=" + std::to_string(louvain.final_modularity) + ", " +

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
     plv::core::ParOptions opts;
     opts.nranks = ranks;
-    const auto result = plv::core::louvain_parallel(g.edges, p.n, opts);
+    const auto result = plv::louvain(plv::GraphSource::from_edges(g.edges, p.n), opts);
     const double first_level_s =
         result.levels.empty() ? 0.0 : result.levels.front().seconds;
     const double teps = first_level_s > 0

@@ -6,8 +6,10 @@
 // quality benches (Fig. 4/5, Table III) can compare them row by row.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -92,18 +94,130 @@ struct Result : LouvainResult {
 /// in exactly one slice); vertex ids may reference any vertex.
 using EdgeSliceFn = std::function<graph::EdgeList(int rank, int nranks)>;
 
-/// What plv::louvain should run on — one of three ingestion modes behind
-/// a single entry point:
+/// One batch of edge updates against an evolving graph: removals are
+/// processed first, then inserts are appended (so a batch may legally
+/// re-insert an edge it removes, e.g. to change its weight). A removal
+/// must name an existing record exactly — same unordered endpoints, same
+/// weight — because edge lists carry parallel edges as separate records
+/// and a removal retracts exactly one of them. `n_vertices` is an
+/// optional floor on the resulting vertex count, the way isolated new
+/// vertices (no incident edge yet) enter the graph.
+struct EdgeDelta {
+  graph::EdgeList inserts;
+  graph::EdgeList removals;
+  vid_t n_vertices{0};
+
+  [[nodiscard]] bool empty() const noexcept {
+    return inserts.empty() && removals.empty();
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return inserts.size() + removals.size();
+  }
+};
+
+/// Applies `delta` to `edges` in place (removals first, then inserts,
+/// both in batch order — deterministic, so every rank of a fleet that
+/// applies the same batch holds byte-identical replicas). Returns the
+/// resulting vertex count: max(list's own count, delta.n_vertices).
+/// Throws std::invalid_argument when a removal names no existing record.
+inline vid_t apply_edge_delta(graph::EdgeList& edges, const EdgeDelta& delta) {
+  auto& recs = edges.edges();
+  for (const Edge& r : delta.removals) {
+    const auto hit = std::find_if(recs.begin(), recs.end(), [&](const Edge& e) {
+      const bool same_pair =
+          (e.u == r.u && e.v == r.v) || (e.u == r.v && e.v == r.u);
+      return same_pair && e.w == r.w;
+    });
+    if (hit == recs.end()) {
+      throw std::invalid_argument(
+          "apply_edge_delta: removal (" + std::to_string(r.u) + ", " +
+          std::to_string(r.v) + ", w=" + std::to_string(r.w) +
+          ") names no existing edge record");
+    }
+    recs.erase(hit);  // order-preserving compaction
+  }
+  for (const Edge& e : delta.inserts) edges.add(e.u, e.v, e.w);
+  return std::max(edges.vertex_count(), delta.n_vertices);
+}
+
+/// Normalizes a warm-start seed against the *current* vertex count:
+/// vertices beyond the seed's length (new since the seed was taken) and
+/// labels referencing vanished vertices (>= n, e.g. after the graph
+/// shrank) become singletons. This is what lets a partition taken before
+/// an EdgeDelta keep seeding refinement after it.
+[[nodiscard]] inline std::vector<vid_t> normalize_warm_labels(std::vector<vid_t> labels,
+                                                              vid_t n) {
+  const auto old = labels.size();
+  labels.resize(n);
+  for (std::size_t v = old; v < labels.size(); ++v) labels[v] = static_cast<vid_t>(v);
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] >= n) labels[v] = static_cast<vid_t>(v);
+  }
+  return labels;
+}
+
+/// Immutable, epoch-stamped view of a community partition — what
+/// Session::snapshot() returns. Snapshots are versioned (epoch 0 is the
+/// initial full run; each Session::apply publishes the next) and shared
+/// by pointer: readers hold a consistent partition for as long as they
+/// keep the shared_ptr, while the refine pipeline publishes newer epochs
+/// without ever touching published ones.
+struct LabelSnapshot {
+  std::uint64_t epoch{0};
+  vid_t n_vertices{0};
+  std::size_t num_communities{0};
+  double modularity{0.0};
+  bool incremental{false};  // produced by dirty-region re-refine, not a cold rebuild
+  std::vector<vid_t> labels;
+
+  /// Community of vertex v; throws std::out_of_range for unknown ids.
+  [[nodiscard]] vid_t community_of(vid_t v) const {
+    if (v >= labels.size()) {
+      throw std::out_of_range("LabelSnapshot: vertex " + std::to_string(v) +
+                              " out of range (n = " + std::to_string(labels.size()) + ")");
+    }
+    return labels[v];
+  }
+
+  /// All vertices labeled `c`, ascending (empty for unknown communities).
+  [[nodiscard]] std::vector<vid_t> community_members(vid_t c) const {
+    std::vector<vid_t> members;
+    for (std::size_t v = 0; v < labels.size(); ++v) {
+      if (labels[v] == c) members.push_back(static_cast<vid_t>(v));
+    }
+    return members;
+  }
+};
+
+/// What plv::louvain (and plv::Session) should run on — one of four
+/// ingestion modes behind a single entry point:
 ///
 ///   from_edges       cold start on a materialized edge list;
 ///   from_edges_warm  same, but refinement starts from a previous run's
 ///                    partition instead of singletons (dynamic graphs);
+///   from_deltas      a materialized base list plus one EdgeDelta batch,
+///                    evaluated as if apply_edge_delta had already run —
+///                    the cold-baseline view of a streamed update;
 ///   from_stream      distributed ingestion — no rank ever materializes
 ///                    the whole edge list; each generates its own slice.
 ///
-/// The source is a non-owning view: the referenced edge list / label
-/// vector / slice function must outlive the louvain() call (they are
-/// read concurrently by all ranks).
+/// Ownership: every factory returns a NON-OWNING VIEW. Each referenced
+/// object must stay alive — and unmodified — until the louvain() call
+/// returns or the Session constructor finishes (Session copies what it
+/// needs at construction; louvain() reads the referents concurrently from
+/// all ranks for the whole run). Per factory:
+///
+///   from_edges        borrows `edges`;
+///   from_edges_warm   borrows `edges` and `initial_labels`;
+///   from_deltas       borrows `base` and `delta`;
+///   from_stream       borrows `slice_of` — beware binding a temporary
+///                     lambda: EdgeSliceFn is a std::function, so
+///                     `from_stream([](int, int){...}, n)` dangles the
+///                     moment the full expression ends. Name it first.
+///
+/// A moved-from GraphSource is expired: using it throws std::logic_error
+/// (see require_live) instead of dereferencing stale pointers — the
+/// sentinel that turns the lifetime footgun into a clear error.
 class GraphSource {
  public:
   [[nodiscard]] static GraphSource from_edges(const graph::EdgeList& edges,
@@ -111,6 +225,7 @@ class GraphSource {
     GraphSource s;
     s.edges_ = &edges;
     s.n_vertices_ = n_vertices;
+    s.live_ = true;
     return s;
   }
 
@@ -121,6 +236,18 @@ class GraphSource {
     s.edges_ = &edges;
     s.initial_labels_ = &initial_labels;
     s.n_vertices_ = n_vertices;
+    s.live_ = true;
+    return s;
+  }
+
+  [[nodiscard]] static GraphSource from_deltas(const graph::EdgeList& base,
+                                               const EdgeDelta& delta,
+                                               vid_t n_vertices = 0) {
+    GraphSource s;
+    s.edges_ = &base;
+    s.delta_ = &delta;
+    s.n_vertices_ = n_vertices;
+    s.live_ = true;
     return s;
   }
 
@@ -129,22 +256,68 @@ class GraphSource {
     GraphSource s;
     s.slice_of_ = &slice_of;
     s.n_vertices_ = n_vertices;
+    s.live_ = true;
     return s;
+  }
+
+  // Copying a view is fine (both copies borrow the same referents); a
+  // *move* expires the source so stale uses fail loudly instead of
+  // reading dangling pointers.
+  GraphSource(const GraphSource&) = default;
+  GraphSource& operator=(const GraphSource&) = default;
+  GraphSource(GraphSource&& other) noexcept { steal(other); }
+  GraphSource& operator=(GraphSource&& other) noexcept {
+    if (this != &other) steal(other);
+    return *this;
+  }
+
+  /// True once this source has been moved from (or was never built by a
+  /// factory). Expired sources throw on use.
+  [[nodiscard]] bool expired() const noexcept { return !live_; }
+
+  /// The sentinel every consumer calls before touching the referents:
+  /// throws std::logic_error naming the calling entry point when the
+  /// source is expired. Cheap enough to stay on in release builds.
+  void require_live(const char* caller) const {
+    if (!live_) {
+      throw std::logic_error(std::string(caller) +
+                             ": GraphSource is expired (moved-from). The factories "
+                             "return non-owning views; build a fresh source from the "
+                             "live edge list / labels instead of reusing a moved one.");
+    }
   }
 
   [[nodiscard]] const graph::EdgeList* edges() const noexcept { return edges_; }
   [[nodiscard]] const std::vector<vid_t>* initial_labels() const noexcept {
     return initial_labels_;
   }
+  [[nodiscard]] const EdgeDelta* delta() const noexcept { return delta_; }
   [[nodiscard]] const EdgeSliceFn* stream() const noexcept { return slice_of_; }
   [[nodiscard]] vid_t n_vertices() const noexcept { return n_vertices_; }
 
  private:
   GraphSource() = default;
+
+  void steal(GraphSource& other) noexcept {
+    edges_ = other.edges_;
+    initial_labels_ = other.initial_labels_;
+    delta_ = other.delta_;
+    slice_of_ = other.slice_of_;
+    n_vertices_ = other.n_vertices_;
+    live_ = other.live_;
+    other.edges_ = nullptr;
+    other.initial_labels_ = nullptr;
+    other.delta_ = nullptr;
+    other.slice_of_ = nullptr;
+    other.live_ = false;
+  }
+
   const graph::EdgeList* edges_{nullptr};
   const std::vector<vid_t>* initial_labels_{nullptr};
+  const EdgeDelta* delta_{nullptr};
   const EdgeSliceFn* slice_of_{nullptr};
   vid_t n_vertices_{0};
+  bool live_{false};
 };
 
 /// The library front door: one call for cold, warm, and streamed parallel

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
 #include "common/flat_map.hpp"
 #include "common/histogram.hpp"
 #include "common/timer.hpp"
+#include "core/session.hpp"
 #include "hashing/edge_table.hpp"
 #include "pml/aggregator.hpp"
 
@@ -91,6 +93,29 @@ struct CommInfo {
   std::int64_t members{0};
 };
 
+/// Fills `table` with rank `me`'s slice of the level-0 In_Table: one
+/// ((v, u), w) record per in-edge of an owned u, self-loops stored as
+/// A(u, u) = 2w. Shared by one-shot ingestion (RankEngine::init_from_edges)
+/// and the Session's resident-table cold rebuilds: the table layout — and
+/// with it every downstream scan order — depends on the insertion
+/// sequence, so running the *same* fill over the same list is what makes a
+/// cold rebuild inside a fleet bit-identical to a one-shot run.
+void fill_in_table(hashing::EdgeTable& table, const graph::EdgeList& edges,
+                   const graph::Partition1D& part, int me, int nranks) {
+  table.clear();
+  table.reserve(2 * edges.size() / static_cast<std::size_t>(nranks) + 16);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) {
+      if (part.owner(e.u) == me) {
+        table.insert_or_add(pack_key(e.u, e.u), 2 * e.w);  // A(u,u) = 2w
+      }
+      continue;
+    }
+    if (part.owner(e.v) == me) table.insert_or_add(pack_key(e.u, e.v), e.w);
+    if (part.owner(e.u) == me) table.insert_or_add(pack_key(e.v, e.u), e.w);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // One rank's view of one level plus the phase machinery.
 // ---------------------------------------------------------------------------
@@ -112,22 +137,45 @@ class RankEngine {
   void init_from_edges(const graph::EdgeList& edges, vid_t n) {
     part_ = graph::Partition1D(opts_.partition, n, comm_.nranks());
     n_level_ = n;
-    in_table_.clear();
-    in_table_.reserve(2 * edges.size() / static_cast<std::size_t>(comm_.nranks()) + 16);
-    const int me = comm_.rank();
-    for (const Edge& e : edges) {
-      if (e.u == e.v) {
-        if (part_.owner(e.u) == me) {
-          in_table_.insert_or_add(pack_key(e.u, e.u), 2 * e.w);  // A(u,u) = 2w
-        }
-        continue;
-      }
-      if (part_.owner(e.v) == me) in_table_.insert_or_add(pack_key(e.u, e.v), e.w);
-      if (part_.owner(e.u) == me) in_table_.insert_or_add(pack_key(e.v, e.u), e.w);
-    }
+    fill_in_table(in_table_, edges, part_, comm_.rank(), comm_.nranks());
     init_level_state();
     two_m_ = comm_.allreduce_sum(local_strength_sum());
   }
+
+  /// Builds level 0 from an already-filled In_Table slice — the Session's
+  /// resident table. The slice is *copied*, and a copy preserves the exact
+  /// array layout, so a table filled by fill_in_table drives the same run
+  /// a cold init_from_edges on the same list would (bit for bit), while a
+  /// delta-patched table drives the incremental re-refine.
+  void init_from_table(const hashing::EdgeTable& in0, vid_t n) {
+    part_ = graph::Partition1D(opts_.partition, n, comm_.nranks());
+    n_level_ = n;
+    in_table_ = in0;
+    init_level_state();
+    two_m_ = comm_.allreduce_sum(local_strength_sum());
+  }
+
+  /// Restricts refinement to the disturbed-vertex frontier: only vertices
+  /// seeded here (the endpoints of changed edges) — plus those a
+  /// retraction/assertion patch later touches, which is exactly how a
+  /// neighbor learns its community surroundings changed — may move;
+  /// everyone else's gain is zeroed before the threshold histogram. Call
+  /// after init_from_table + warm_start. Level 0 only: reconstruction
+  /// lifts the restriction, and run_levels stops after level 0 when the
+  /// frontier never produced a move (an undisturbed partition cannot
+  /// change at coarser levels either).
+  void enable_frontier(const std::vector<vid_t>& seeds) {
+    frontier_ = true;
+    frontier_was_on_ = true;
+    active_.assign(label_.size(), 0);
+    const int me = comm_.rank();
+    for (vid_t v : seeds) {
+      if (v < n_level_ && part_.owner(v) == me) active_[part_.to_local(v)] = 1;
+    }
+  }
+
+  [[nodiscard]] bool frontier_was_enabled() const noexcept { return frontier_was_on_; }
+  [[nodiscard]] std::uint64_t last_level_moves() const noexcept { return level_moves_; }
 
   /// Re-seeds the community state from a prior partition (warm start).
   /// Must run after init_from_edges/init_from_slice: ownership arrays are
@@ -303,6 +351,10 @@ class RankEngine {
     // summed over ranks. The per-iteration full-vs-delta decision compares
     // the (allreduced) delta cost against this.
     full_prop_records_ = comm_.allreduce_sum(static_cast<std::uint64_t>(in_table_.size()));
+    // The frontier restriction applies to the level it was seeded on;
+    // coarser levels (and fresh inits) refine unrestricted.
+    frontier_ = false;
+    active_.clear();
   }
 
   [[nodiscard]] weight_t local_strength_sum() const noexcept {
@@ -371,6 +423,10 @@ class RankEngine {
     comm_.drain_streaming_finalized<PropMsg>([&](int /*src*/,
                                                  std::span<const PropMsg> msgs) {
       for (const PropMsg& m : msgs) {
+        // A patched vertex just learned its surroundings changed — that is
+        // the disturbed-vertex frontier growing (Lu & Halappanavar's
+        // disturbance propagation): it may move from the next sweep on.
+        if (frontier_) active_[part_.to_local(m.v)] = 1;
         if ((m.c & kRetractBit) != 0) {
           const vid_t c = m.c & ~kRetractBit;
           if (out_table_.retract(pack_key(m.v, c), m.w)) ref_sub(c);
@@ -490,10 +546,18 @@ class RankEngine {
     auto stay_init = [&] {
       for (vid_t l = 0; l < local_n; ++l) {
         const vid_t cu = label_[l];
-        const vid_t u = part_.to_global(comm_.rank(), l);
-        stay_score_[l] = out_table_.find(pack_key(u, cu)).value_or(0.0) - self_loop_[l];
         best_[l] = cu;
         gain_[l] = 0.0;
+        // Frontier pruning: vertices outside the disturbed region cannot
+        // move this iteration (their gain stays 0 and update_communities
+        // never reads best_score_), so their stay score is never consumed
+        // — skip the table lookup.
+        if (frontier_ && active_[l] == 0) {
+          stay_score_[l] = 0.0;
+          continue;
+        }
+        const vid_t u = part_.to_global(comm_.rank(), l);
+        stay_score_[l] = out_table_.find(pack_key(u, cu)).value_or(0.0) - self_loop_[l];
       }
     };
     auto build_reply = [&](const std::vector<vid_t>& reqs, std::vector<SigmaRep>& rep) {
@@ -553,11 +617,14 @@ class RankEngine {
     }
 
     // Fold the σ term into the stay score (identical arithmetic on both
-    // paths: (w_stay) − γ(σ − k)k/2m, left-associated as before).
+    // paths: (w_stay) − γ(σ − k)k/2m, left-associated as before). γ is
+    // hoisted once for the two hot loops below.
+    const double gamma = opts_.resolution;
     for (vid_t l = 0; l < local_n; ++l) {
+      if (frontier_ && active_[l] == 0) continue;  // stay score unused
       const SigmaRep* own = sigma_cache_.find(label_[l]);
       assert(own != nullptr);
-      stay_score_[l] -= opts_.resolution * (own->sigma_tot - strength_[l]) *
+      stay_score_[l] -= gamma * (own->sigma_tot - strength_[l]) *
                         strength_[l] / two_m_;
     }
     // best_score starts equal to stay_score; track it in gain_ scaled later.
@@ -575,9 +642,14 @@ class RankEngine {
       const vid_t l = part_.to_local(u);
       const vid_t cu = label_[l];
       if (c == cu) {
-        sin_acc_.ref(c) += w;
+        sin_acc_.ref(c) += w;  // Σin accounting: every row counts, active or not
         return;
       }
+      // Frontier pruning (Sahu's unchanged-vertex idea): an undisturbed
+      // vertex may not move this iteration, so its join search — the σ
+      // lookup and score compare, the scan's dominant cost — is skipped.
+      // best_[l] stays at label_[l] from stay_init, so its gain is 0.
+      if (frontier_ && active_[l] == 0) return;
       const SigmaRep* target = sigma_cache_.find(c);
       assert(target != nullptr);
       // Singleton-swap guard (Lu et al. [11], cited by the paper): when a
@@ -587,13 +659,16 @@ class RankEngine {
       // oscillation Section III warns about.
       if (target->members == 1 && sigma_cache_.find(cu)->members == 1 && c > cu) return;
       const double score =
-          w - opts_.resolution * target->sigma_tot * strength_[l] / two_m_;
+          w - gamma * target->sigma_tot * strength_[l] / two_m_;
       if (score > best_score_[l] + 1e-15 ||
           (score > best_score_[l] - 1e-15 && c < best_[l])) {
         best_score_[l] = score;
         best_[l] = c;
       }
     });
+    // Inactive vertices kept best_[l] == label_[l] through the scan, so
+    // this leaves their gain at 0 — out of the threshold histogram and
+    // the move sweep alike — with no separate masking pass.
     for (vid_t l = 0; l < local_n; ++l) {
       gain_[l] =
           best_[l] == label_[l] ? 0.0 : 2.0 * (best_score_[l] - stay_score_[l]) / two_m_;
@@ -761,6 +836,7 @@ class RankEngine {
   double refine(LouvainLevel& level, double q_initial) {
     double prev_q = q_initial;
     int stagnant = 0;
+    level_moves_ = 0;
     // The retraction encoding borrows PropMsg::c's top bit, so the delta
     // path needs community ids below 2^31 — always true for vid_t levels
     // in practice, but guard anyway so correctness never hinges on it.
@@ -776,6 +852,7 @@ class RankEngine {
 
       t.reset();
       const MoveTally moved = update_communities(cutoff);
+      level_moves_ += moved.moves;
       const double update_s = t.seconds();
       timers_.add(phase::kUpdateCommunity, update_s);
 
@@ -792,13 +869,20 @@ class RankEngine {
               ? static_cast<double>(moved.delta_records) /
                     static_cast<double>(full_prop_records_)
               : 0.0;
+      // In frontier mode the propagation is forced onto the delta path:
+      // a full rebuild costs O(|In_Table|) — the cold-start term the
+      // dirty-region re-refine exists to avoid — and only the patches
+      // grow the disturbed set. The flag is command-driven (identical on
+      // every rank), so the decision stays globally consistent.
       const bool rebuild_due =
-          (opts_.full_rebuild_every > 0 &&
-           iters_since_rebuild_ + 1 >= opts_.full_rebuild_every) ||
-          (opts_.adaptive_rebuild_drift > kAdaptiveRebuildOff &&
-           drift_accum_ + churn >= opts_.adaptive_rebuild_drift);
+          !frontier_ &&
+          ((opts_.full_rebuild_every > 0 &&
+            iters_since_rebuild_ + 1 >= opts_.full_rebuild_every) ||
+           (opts_.adaptive_rebuild_drift > kAdaptiveRebuildOff &&
+            drift_accum_ + churn >= opts_.adaptive_rebuild_drift));
       const bool delta_wins =
-          delta_possible && moved.delta_records < full_prop_records_;
+          delta_possible &&
+          (frontier_ || moved.delta_records < full_prop_records_);
       t.reset();
       const std::uint64_t sent_before = comm_.stats().records_sent;
       if (rebuild_due || !delta_wins) {
@@ -951,6 +1035,17 @@ class RankEngine {
   std::vector<Move> moves_;
   int iters_since_rebuild_{0};
   std::uint64_t full_prop_records_{0};
+
+  // Disturbed-vertex frontier (Session incremental applies): while
+  // frontier_ is on, only vertices with a set active_ bit may move, and
+  // the delta-propagation drain sets the bit of every patched vertex.
+  // frontier_was_on_ remembers the request across the level transition
+  // (frontier_ itself is per-level) so run_levels can stop after a no-op
+  // level 0; level_moves_ is that level's global move count.
+  bool frontier_{false};
+  bool frontier_was_on_{false};
+  std::vector<std::uint8_t> active_;
+  std::uint64_t level_moves_{0};
   // Accumulated fractional Out_Table turnover since the last full rebuild
   // (Σ delta_records / full_prop_records); drives the adaptive rebuild
   // trigger. Built from allreduced tallies only, so it is identical on
@@ -1034,6 +1129,13 @@ ParResult run_levels(pml::Comm& comm, RankEngine& engine, vid_t n, const ParOpti
     result.final_modularity = level.modularity;
     result.levels.push_back(std::move(level));
     if (!compressed) break;
+    // A frontier run whose disturbed region never produced a move left
+    // the partition exactly as warm-seeded; the coarser levels were
+    // already converged by the epoch that produced that seed, so stop
+    // after level 0 instead of re-walking the whole hierarchy.
+    if (level_idx == 0 && engine.frontier_was_enabled() && engine.last_level_moves() == 0) {
+      break;
+    }
   }
 
   // Aggregate telemetry. Phase timers reduce by max over ranks (the
@@ -1066,23 +1168,47 @@ ParResult louvain_rank(pml::Comm& comm, const graph::EdgeList& edges, vid_t n_ve
   return run_levels(comm, engine, n, opts, busy);
 }
 
-ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
-                                const std::vector<vid_t>& initial_labels,
-                                const ParOptions& opts) {
+// ---------------------------------------------------------------------------
+// One-shot launch bodies. These are the non-deprecated internals: both the
+// plv::louvain front door and the [[deprecated]] core::louvain_parallel*
+// wrappers forward here, so the library itself never calls a deprecated
+// symbol (the CI builds with -Werror).
+// ---------------------------------------------------------------------------
+
+static ParResult parallel_impl(const graph::EdgeList& edges, vid_t n_vertices,
+                               const ParOptions& opts) {
+  opts.validate();
+  const pml::TransportKind kind = pml::resolve_transport(opts.transport);
+  ParResult result;
+  result.transport = pml::transport_kind_name(kind);
+  std::mutex result_mutex;
+  pml::Runtime::run(
+      opts.nranks,
+      [&](pml::Comm& comm) {
+        ParResult local = louvain_rank(comm, edges, n_vertices, opts);
+        if (comm.rank() == 0) {
+          std::scoped_lock lock(result_mutex);
+          result = std::move(local);
+        }
+      },
+      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
+      opts.hybrid_options());
+  return result;
+}
+
+static ParResult warm_impl(const graph::EdgeList& edges, vid_t n_vertices,
+                           const std::vector<vid_t>& initial_labels,
+                           const ParOptions& opts) {
   opts.validate();
   const pml::TransportKind kind = pml::resolve_transport(opts.transport);
   const vid_t n = std::max(n_vertices, edges.vertex_count());
   ParResult result;
   result.transport = pml::transport_kind_name(kind);
   if (n == 0) return result;
-  if (initial_labels.size() < n) {
-    throw std::invalid_argument("louvain_parallel_warm: labels shorter than vertex count");
-  }
-  for (vid_t v = 0; v < n; ++v) {
-    if (initial_labels[v] >= n) {
-      throw std::invalid_argument("louvain_parallel_warm: label out of range");
-    }
-  }
+  // Seeds taken before an EdgeDelta stay usable after it: vertices the
+  // seed does not cover and labels referencing vanished vertices become
+  // singletons instead of rejecting the whole seed.
+  const std::vector<vid_t> labels = normalize_warm_labels(initial_labels, n);
   std::mutex result_mutex;
   pml::Runtime::run(
       opts.nranks,
@@ -1090,7 +1216,7 @@ ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
         WallTimer busy;
         RankEngine engine(comm, opts);
         engine.init_from_edges(edges, n);
-        engine.warm_start(initial_labels);
+        engine.warm_start(labels);
         ParResult local = run_levels(comm, engine, n, opts, busy);
         if (comm.rank() == 0) {
           std::scoped_lock lock(result_mutex);
@@ -1102,8 +1228,8 @@ ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
   return result;
 }
 
-ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of, vid_t n_vertices,
-                                    const ParOptions& opts) {
+static ParResult streamed_impl(const EdgeSliceFn& slice_of, vid_t n_vertices,
+                               const ParOptions& opts) {
   opts.validate();
   const pml::TransportKind kind = pml::resolve_transport(opts.transport);
   ParResult result;
@@ -1130,41 +1256,257 @@ ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of, vid_t n_vertice
 
 ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
                            const ParOptions& opts) {
-  opts.validate();
-  const pml::TransportKind kind = pml::resolve_transport(opts.transport);
-  ParResult result;
-  result.transport = pml::transport_kind_name(kind);
-  std::mutex result_mutex;
-  pml::Runtime::run(
-      opts.nranks,
-      [&](pml::Comm& comm) {
-        ParResult local = louvain_rank(comm, edges, n_vertices, opts);
-        if (comm.rank() == 0) {
-          std::scoped_lock lock(result_mutex);
-          result = std::move(local);
-        }
-      },
-      kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
-      opts.hybrid_options());
-  return result;
+  return parallel_impl(edges, n_vertices, opts);
 }
+
+ParResult louvain_parallel_warm(const graph::EdgeList& edges, vid_t n_vertices,
+                                const std::vector<vid_t>& initial_labels,
+                                const ParOptions& opts) {
+  return warm_impl(edges, n_vertices, initial_labels, opts);
+}
+
+ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of, vid_t n_vertices,
+                                    const ParOptions& opts) {
+  return streamed_impl(slice_of, n_vertices, opts);
+}
+
+// ---------------------------------------------------------------------------
+// The resident fleet body behind plv::Session (core/session.hpp). Every
+// rank holds a patchable replica of the evolving edge list plus its slice
+// of the level-0 In_Table; rank 0 — which every transport runs inside the
+// calling process — doubles as the command pump.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+/// Fixed-size header of one broadcast fleet command.
+struct WireCmd {
+  std::uint32_t kind{0};
+  vid_t n_floor{0};
+  std::uint64_t seq{0};
+};
+
+/// Rank-0-sourced broadcast built from the one collective every transport
+/// shares: peers contribute nothing, so the allgatherv concatenation *is*
+/// rank 0's payload. Peers park here between batches — the fleet stays
+/// warm with no polling on any transport.
+template <typename T>
+std::vector<T> bcast_from_root(pml::Comm& comm, std::vector<T> payload) {
+  if (comm.rank() != 0) payload.clear();
+  return comm.allgatherv(payload);
+}
+
+}  // namespace
+
+void session_rank_body(pml::Comm& comm, SessionShared& shared) {
+  const ParOptions& opts = shared.opts;
+  const int me = comm.rank();
+  const int nranks = comm.nranks();
+
+  // ---- Resident per-rank state. ----
+  graph::EdgeList edges;
+  if (shared.init_stream != nullptr) {
+    // Gather the stream's slices once: unlike one-shot streamed ingestion,
+    // a Session patches its replica in place across batches, so every rank
+    // must hold the materialized list.
+    const graph::EdgeList slice = (*shared.init_stream)(me, nranks);
+    const std::vector<Edge> mine(slice.begin(), slice.end());
+    for (const Edge& e : comm.allgatherv(mine)) edges.add(e.u, e.v, e.w);
+  } else {
+    edges = shared.init_edges;
+  }
+  vid_t n = std::max(shared.init_n, edges.vertex_count());
+
+  hashing::EdgeTable in0(0, opts.table_max_load, opts.hash);
+  {
+    const graph::Partition1D part(opts.partition, n, nranks);
+    fill_in_table(in0, edges, part, me, nranks);
+  }
+  std::vector<vid_t> labels;  // latest full label vector (every rank)
+  int batches_since_cold = 0;
+
+  // One detection pass over the resident table. The engine is built fresh
+  // per pass on purpose: persistent engine scratch (table capacities in
+  // particular) would shift scan orders away from what a one-shot cold
+  // run produces, breaking the cold path's bit-for-bit equivalence.
+  const auto detect = [&](const std::vector<vid_t>* warm,
+                          const std::vector<vid_t>* frontier_seeds) {
+    WallTimer busy;
+    RankEngine engine(comm, opts);
+    engine.init_from_table(in0, n);
+    if (warm != nullptr) engine.warm_start(*warm);
+    if (frontier_seeds != nullptr) engine.enable_frontier(*frontier_seeds);
+    return run_levels(comm, engine, n, opts, busy);
+  };
+
+  const auto publish = [&](std::uint64_t seq, const ParResult& r, bool incremental) {
+    labels = r.final_labels;
+    if (me != 0) return;
+    auto snap = std::make_shared<LabelSnapshot>();
+    snap->epoch = seq;
+    snap->n_vertices = n;
+    snap->num_communities =
+        r.levels.empty() ? static_cast<std::size_t>(n) : r.levels.back().num_communities;
+    snap->modularity = r.final_modularity;
+    snap->incremental = incremental;
+    snap->labels = r.final_labels;
+    {
+      std::scoped_lock lock(shared.mu);
+      shared.snap = std::move(snap);
+      shared.completed = seq;
+    }
+    shared.cv.notify_all();
+  };
+
+  // ---- Epoch 0: the initial full run. ----
+  {
+    std::vector<vid_t> warm;
+    const std::vector<vid_t>* seed = nullptr;
+    if (!shared.init_labels.empty()) {
+      warm = normalize_warm_labels(shared.init_labels, n);
+      seed = &warm;
+    }
+    publish(0, detect(seed, nullptr), false);
+  }
+
+  // ---- The command pump. Only rank 0 (same process as the Session
+  // handle on every transport) touches the shared queue; peers learn each
+  // command through the broadcast. ----
+  for (;;) {
+    WireCmd cmd{};
+    std::vector<Edge> ins;
+    std::vector<Edge> del;
+    if (me == 0) {
+      std::unique_lock lock(shared.mu);
+      shared.cv.wait(lock, [&] { return shared.has_command; });
+      shared.has_command = false;
+      cmd = WireCmd{static_cast<std::uint32_t>(shared.command.kind),
+                    shared.command.delta.n_vertices, shared.command.seq};
+      ins.assign(shared.command.delta.inserts.begin(), shared.command.delta.inserts.end());
+      del.assign(shared.command.delta.removals.begin(), shared.command.delta.removals.end());
+    }
+    cmd = bcast_from_root(comm, std::vector<WireCmd>{cmd}).front();
+    ins = bcast_from_root(comm, std::move(ins));
+    del = bcast_from_root(comm, std::move(del));
+    if (cmd.kind == static_cast<std::uint32_t>(SessionCommand::Kind::kShutdown)) return;
+
+    EdgeDelta delta;
+    delta.n_vertices = cmd.n_floor;
+    for (const Edge& e : ins) delta.inserts.add(e.u, e.v, e.w);
+    for (const Edge& e : del) delta.removals.add(e.u, e.v, e.w);
+
+    // Throws when a removal names no existing record — fleet-fatal, and
+    // identical on every rank (same replica, same batch), so the whole
+    // fleet fails the same way and Session::apply rethrows it.
+    const std::size_t edges_before = edges.size();
+    const vid_t new_n = std::max(n, apply_edge_delta(edges, delta));
+    ++batches_since_cold;
+
+    const bool cadence_due = opts.streaming.rebuild_every_batches > 0 &&
+                             batches_since_cold >= opts.streaming.rebuild_every_batches;
+    const bool too_big =
+        edges_before == 0 ||
+        static_cast<double>(delta.size()) >
+            opts.streaming.max_delta_fraction * static_cast<double>(edges_before);
+    // The incremental path needs ownership that survives vertex growth
+    // (cyclic) and the PropMsg retraction encoding (ids below the bit).
+    const bool incremental_capable =
+        opts.partition == graph::PartitionKind::kCyclic && new_n < kRetractBit;
+
+    if (cadence_due || too_big || !incremental_capable) {
+      // Cold rebuild inside the resident fleet: refill the In_Table from
+      // scratch — a fresh fill_in_table layout, hence bit-identical to a
+      // one-shot run on the updated list — and run from singletons.
+      const graph::Partition1D part(opts.partition, new_n, nranks);
+      fill_in_table(in0, edges, part, me, nranks);
+      n = new_n;
+      batches_since_cold = 0;
+      publish(cmd.seq, detect(nullptr, nullptr), false);
+      continue;
+    }
+
+    // Incremental apply: patch the resident In_Table in place — the same
+    // retraction/assertion idea the Out_Table runs per iteration, applied
+    // to the level-0 topology — then re-refine from the previous epoch's
+    // labels, restricted to the disturbed frontier when configured.
+    const graph::Partition1D part(opts.partition, new_n, nranks);
+    const auto patch = [&](const graph::EdgeList& batch, bool insert) {
+      for (const Edge& e : batch) {
+        if (e.u == e.v) {
+          if (part.owner(e.u) == me) {
+            if (insert) {
+              in0.insert_or_add(pack_key(e.u, e.u), 2 * e.w);
+            } else {
+              in0.retract(pack_key(e.u, e.u), 2 * e.w);
+            }
+          }
+          continue;
+        }
+        if (part.owner(e.v) == me) {
+          if (insert) {
+            in0.insert_or_add(pack_key(e.u, e.v), e.w);
+          } else {
+            in0.retract(pack_key(e.u, e.v), e.w);
+          }
+        }
+        if (part.owner(e.u) == me) {
+          if (insert) {
+            in0.insert_or_add(pack_key(e.v, e.u), e.w);
+          } else {
+            in0.retract(pack_key(e.v, e.u), e.w);
+          }
+        }
+      }
+    };
+    patch(delta.removals, /*insert=*/false);
+    patch(delta.inserts, /*insert=*/true);
+    n = new_n;
+
+    const std::vector<vid_t> warm = normalize_warm_labels(std::move(labels), n);
+    std::vector<vid_t> seeds;
+    seeds.reserve(2 * delta.size());
+    for (const Edge& e : delta.removals) {
+      seeds.push_back(e.u);
+      seeds.push_back(e.v);
+    }
+    for (const Edge& e : delta.inserts) {
+      seeds.push_back(e.u);
+      seeds.push_back(e.v);
+    }
+    publish(cmd.seq, detect(&warm, opts.streaming.frontier ? &seeds : nullptr), true);
+  }
+}
+
+}  // namespace detail
 
 }  // namespace plv::core
 
 namespace plv {
 
 Result louvain(const GraphSource& graph, const core::ParOptions& opts) {
+  graph.require_live("louvain");
   if (graph.stream() != nullptr) {
-    return core::louvain_parallel_streamed(*graph.stream(), graph.n_vertices(), opts);
+    return core::streamed_impl(*graph.stream(), graph.n_vertices(), opts);
   }
   if (graph.edges() == nullptr) {
     throw std::invalid_argument("louvain: GraphSource carries no edges and no stream");
   }
-  if (graph.initial_labels() != nullptr) {
-    return core::louvain_parallel_warm(*graph.edges(), graph.n_vertices(),
-                                       *graph.initial_labels(), opts);
+  if (graph.delta() != nullptr) {
+    // The cold-baseline view of a streamed update: materialize the updated
+    // list, then run cold on it — what Session::apply must match under the
+    // deterministic streaming plan.
+    graph::EdgeList updated = *graph.edges();
+    const vid_t n =
+        std::max(graph.n_vertices(), apply_edge_delta(updated, *graph.delta()));
+    return core::parallel_impl(updated, n, opts);
   }
-  return core::louvain_parallel(*graph.edges(), graph.n_vertices(), opts);
+  if (graph.initial_labels() != nullptr) {
+    return core::warm_impl(*graph.edges(), graph.n_vertices(), *graph.initial_labels(),
+                           opts);
+  }
+  return core::parallel_impl(*graph.edges(), graph.n_vertices(), opts);
 }
 
 }  // namespace plv

@@ -42,6 +42,12 @@ using ParResult = plv::Result;
 /// overridable via PLV_TRANSPORT. `n_vertices` may be 0 to size from the
 /// edge list. Deterministic for fixed options and input, on every
 /// transport.
+///
+/// Deprecated: the GraphSource front door covers this and the other two
+/// ingestion modes behind one entry point, and is where new capabilities
+/// (EdgeDelta composition, Session residency) land.
+[[deprecated(
+    "call plv::louvain(plv::GraphSource::from_edges(edges, n), opts) instead")]]
 [[nodiscard]] ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
                                          const ParOptions& opts);
 
@@ -50,6 +56,10 @@ using ParResult = plv::Result;
 /// Runtime and inspect per-rank behavior). All ranks must pass the same
 /// `edges`, `n_vertices`, and options. Rank 0's return value carries the
 /// full result; other ranks return an empty result.
+///
+/// This is a test seam, not an application entry point — production code
+/// goes through plv::louvain / plv::Session, which own the fleet launch
+/// (the repo lint bans louvain_rank calls outside tests/).
 [[nodiscard]] ParResult louvain_rank(pml::Comm& comm, const graph::EdgeList& edges,
                                      vid_t n_vertices, const ParOptions& opts);
 
@@ -64,6 +74,10 @@ using EdgeSliceFn = plv::EdgeSliceFn;
 /// paper's largest runs feed 138 G-edge R-MAT/BTER streams. Produces
 /// bit-identical results to louvain_parallel() on the concatenated
 /// slices (verified by tests/streamed_ingest_test).
+///
+/// Deprecated in favor of the GraphSource front door.
+[[deprecated(
+    "call plv::louvain(plv::GraphSource::from_stream(slice_of, n), opts) instead")]]
 [[nodiscard]] ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of,
                                                   vid_t n_vertices,
                                                   const ParOptions& opts);
@@ -76,7 +90,16 @@ using EdgeSliceFn = plv::EdgeSliceFn;
 /// state (labels, Σtot, member counts) is seeded from `initial_labels`
 /// (one label per vertex; label values are vertex ids or any ids < n).
 /// Converges in far fewer inner iterations than a cold start when the
-/// change is incremental (tests/warm_start_test, examples/dynamic_graph).
+/// change is incremental (tests/warm_start_test). Seeds are normalized
+/// (normalize_warm_labels): uncovered vertices and labels referencing
+/// vanished vertices become singletons instead of rejecting the seed.
+///
+/// Deprecated in favor of the GraphSource front door — and for repeated
+/// updates, plv::Session keeps the fleet and the In_Table resident
+/// instead of rebuilding both per call.
+[[deprecated(
+    "call plv::louvain(plv::GraphSource::from_edges_warm(edges, labels, n), opts) "
+    "instead; for repeated updates use plv::Session")]]
 [[nodiscard]] ParResult louvain_parallel_warm(const graph::EdgeList& edges,
                                               vid_t n_vertices,
                                               const std::vector<vid_t>& initial_labels,

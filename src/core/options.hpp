@@ -46,6 +46,19 @@ inline constexpr int kNeverRebuild = 0;
 /// rebuilds.
 inline constexpr double kAdaptiveRebuildOff = 0.0;
 
+/// StreamingPlan::rebuild_every_batches — run a full cold rebuild inside
+/// the resident fleet on *every* Session::apply. In this mode an apply is
+/// exactly a cold run on the updated graph, so its labels are
+/// bit-identical to plv::louvain on the same edge list — the
+/// exact-equivalence mode the streaming test suite pins.
+inline constexpr int kColdRebuildEveryBatch = 1;
+
+/// StreamingPlan::rebuild_every_batches — never schedule a cadence cold
+/// rebuild; every batch takes the incremental path (the
+/// max_delta_fraction fallback still forces a cold rebuild for batches
+/// too large to benefit).
+inline constexpr int kNeverColdRebuild = 0;
+
 /// The convergence heuristic's ε(iter) model (paper Section IV-B).
 enum class ThresholdModel {
   /// ε = p1 · e^(1 / (p2 · iter)): the paper's Eq. 7. For small p2 this
@@ -82,6 +95,130 @@ enum class ThresholdModel {
   }
   return std::clamp(eps, 0.0, 1.0);
 }
+
+/// The refinement half of the configuration — every knob that shapes the
+/// REFINE inner loop and the level cascade, grouped the way Katana's
+/// LouvainClusteringPlan groups its clustering knobs. Lives nested inside
+/// ParOptions (ParOptions::refine); the historical flat field names remain
+/// as reference aliases, so existing call sites keep compiling unchanged.
+struct RefinePlan {
+  // Convergence. The inner loop stops on zero moves or after
+  // `stagnation_window` consecutive iterations with < q_tolerance
+  // improvement (one stagnant low-ε iteration is normal, not convergence).
+  double q_tolerance{1e-6};
+  int max_inner_iterations{64};
+  int max_levels{32};
+  int stagnation_window{2};
+
+  // The paper's heuristic (Section IV-B), Eq. 7 with (p1, p2) from our own
+  // Fig. 2 regression (bench/fig2_heuristic_regression): ε(1) ≈ 0.84,
+  // decaying to a ~3% floor — the same shape as the paper's LFR traces.
+  ThresholdModel threshold{ThresholdModel::kPaperEq7};
+  double p1{0.03};
+  double p2{0.3};
+  std::size_t gain_histogram_bins{512};
+
+  // Out_Table maintenance cadence: a full state-propagation rebuild every
+  // N inner iterations, with incremental retraction/assertion deltas in
+  // between. kRebuildEveryIteration restores the legacy always-rebuild
+  // behavior; kNeverRebuild ships deltas only. Independent of cadence, an
+  // iteration falls back to a full rebuild whenever the delta would ship
+  // at least as many records — so the delta path never loses on traffic.
+  // On integer-weight graphs the two paths are bit-identical; on
+  // irrational weights the cadence bounds floating-point drift (see
+  // DESIGN.md).
+  int full_rebuild_every{16};
+
+  // Adaptive rebuild trigger: a full rebuild also fires when the
+  // accumulated delta churn since the last rebuild — Σ delta_records /
+  // full_prop_records, i.e. fractional Out_Table weight turnover — crosses
+  // this threshold. Rebuilds react to actual drift pressure instead of a
+  // blind iteration count; `full_rebuild_every` stays as the hard upper
+  // bound. Derived from allreduced tallies, so every rank fires on the
+  // same iteration. kAdaptiveRebuildOff (0) disables the trigger.
+  double adaptive_rebuild_drift{2.0};
+
+  // Overlapped refine pipeline (default): Σtot request/reply, move-delta
+  // and Σin exchanges ride the streaming fine-grained plane (no collective
+  // rendezvous; arrivals staged per source and applied in rank order, so
+  // results stay bit-identical), the stay-score initialization overlaps
+  // the Σtot wire time, the global move tally piggybacks on the delta
+  // exchange, and modularity + trace volume share one combined reduction.
+  // false restores the phased path — blocking collectives, separate
+  // reductions — as the A/B baseline.
+  bool overlap{true};
+
+  // Resolution γ of generalized modularity (1 = Newman's Eq. 3). Larger
+  // values favor more, smaller communities.
+  double resolution{1.0};
+
+  /// Preset: bit-reproducible across maintenance paths — the Out_Table is
+  /// rebuilt every iteration (no incremental drift even on irrational
+  /// weights) and the churn trigger is off. The slowest, most auditable
+  /// configuration; what the equivalence suites pin.
+  [[nodiscard]] static RefinePlan deterministic() {
+    RefinePlan plan;
+    plan.full_rebuild_every = kRebuildEveryIteration;
+    plan.adaptive_rebuild_drift = kAdaptiveRebuildOff;
+    return plan;
+  }
+
+  /// Preset: lowest-traffic steady state — no cadence rebuilds at all;
+  /// only the churn trigger and the records-shipped fallback schedule
+  /// them. Results stay bit-identical on integer-weight graphs.
+  [[nodiscard]] static RefinePlan fast() {
+    RefinePlan plan;
+    plan.full_rebuild_every = kNeverRebuild;
+    return plan;
+  }
+};
+
+/// The streaming half of the configuration — how plv::Session turns
+/// EdgeDelta batches into new label epochs. Ignored by one-shot
+/// plv::louvain runs.
+struct StreamingPlan {
+  // Cold-rebuild cadence, in batches: every Nth Session::apply discards
+  // the warm state and re-runs from scratch on the updated edge list —
+  // the bound on how far incremental refinement may drift from a cold
+  // partition. kColdRebuildEveryBatch (1) makes every apply exactly a
+  // cold run (the exact-equivalence mode); kNeverColdRebuild (0) never
+  // schedules one.
+  int rebuild_every_batches{16};
+
+  // Dirty-region re-refinement: seed the disturbed-vertex frontier from
+  // the endpoints of changed edges and let only frontier vertices move,
+  // growing the frontier through the retraction/assertion patches their
+  // moves ship (Lu & Halappanavar's disturbed set, Sahu's pruning).
+  // false = warm-seeded but unrestricted refinement between cold
+  // rebuilds. Requires the cyclic partition (vertex ownership must not
+  // shift as the vertex count grows); Session enforces that at
+  // construction.
+  bool frontier{true};
+
+  // Batches touching more than this fraction of the current edge list
+  // take the cold path regardless of cadence — a graph-wide rewrite
+  // disturbs everything, so incremental refinement would redo a cold
+  // run's work with extra bookkeeping.
+  double max_delta_fraction{0.25};
+
+  /// Preset: every apply is a cold run on the updated graph —
+  /// bit-identical to one-shot plv::louvain, at cold-start latency.
+  [[nodiscard]] static StreamingPlan deterministic() {
+    StreamingPlan plan;
+    plan.rebuild_every_batches = kColdRebuildEveryBatch;
+    plan.frontier = false;
+    return plan;
+  }
+
+  /// Preset: minimum update latency — incremental frontier refinement on
+  /// every batch, no cadence rebuilds (the size fallback still applies).
+  [[nodiscard]] static StreamingPlan fast() {
+    StreamingPlan plan;
+    plan.rebuild_every_batches = kNeverColdRebuild;
+    plan.frontier = true;
+    return plan;
+  }
+};
 
 struct ParOptions {
   int nranks{4};
@@ -143,22 +280,6 @@ struct ParOptions {
   // otherwise).
   bool validate_transport{pml::kValidateTransportDefault};
 
-  // Convergence. The inner loop stops on zero moves or after
-  // `stagnation_window` consecutive iterations with < q_tolerance
-  // improvement (one stagnant low-ε iteration is normal, not convergence).
-  double q_tolerance{1e-6};
-  int max_inner_iterations{64};
-  int max_levels{32};
-  int stagnation_window{2};
-
-  // The paper's heuristic (Section IV-B), Eq. 7 with (p1, p2) from our own
-  // Fig. 2 regression (bench/fig2_heuristic_regression): ε(1) ≈ 0.84,
-  // decaying to a ~3% floor — the same shape as the paper's LFR traces.
-  ThresholdModel threshold{ThresholdModel::kPaperEq7};
-  double p1{0.03};
-  double p2{0.3};
-  std::size_t gain_histogram_bins{512};
-
   // Hash-table configuration (Section V-C). 1/4 load factor is the
   // paper's chosen speed/memory compromise.
   hashing::HashKind hash{hashing::HashKind::kFibonacci};
@@ -174,42 +295,74 @@ struct ParOptions {
   // boundaries. kUnboundedChunkPool = never trim.
   std::size_t chunk_pool_watermark{256};
 
-  // Out_Table maintenance cadence: a full state-propagation rebuild every
-  // N inner iterations, with incremental retraction/assertion deltas in
-  // between. kRebuildEveryIteration restores the legacy always-rebuild
-  // behavior; kNeverRebuild ships deltas only. Independent of cadence, an
-  // iteration falls back to a full rebuild whenever the delta would ship
-  // at least as many records — so the delta path never loses on traffic.
-  // On integer-weight graphs the two paths are bit-identical; on
-  // irrational weights the cadence bounds floating-point drift (see
-  // DESIGN.md).
-  int full_rebuild_every{16};
-
-  // Adaptive rebuild trigger: a full rebuild also fires when the
-  // accumulated delta churn since the last rebuild — Σ delta_records /
-  // full_prop_records, i.e. fractional Out_Table weight turnover — crosses
-  // this threshold. Rebuilds react to actual drift pressure instead of a
-  // blind iteration count; `full_rebuild_every` stays as the hard upper
-  // bound. Derived from allreduced tallies, so every rank fires on the
-  // same iteration. kAdaptiveRebuildOff (0) disables the trigger.
-  double adaptive_rebuild_drift{2.0};
-
-  // Overlapped refine pipeline (default): Σtot request/reply, move-delta
-  // and Σin exchanges ride the streaming fine-grained plane (no collective
-  // rendezvous; arrivals staged per source and applied in rank order, so
-  // results stay bit-identical), the stay-score initialization overlaps
-  // the Σtot wire time, the global move tally piggybacks on the delta
-  // exchange, and modularity + trace volume share one combined reduction.
-  // false restores the phased path — blocking collectives, separate
-  // reductions — as the A/B baseline.
-  bool overlap{true};
-
-  // Resolution γ of generalized modularity (1 = Newman's Eq. 3). Larger
-  // values favor more, smaller communities.
-  double resolution{1.0};
-
   // Telemetry.
   bool record_trace{true};
+
+  // The plan groups (see RefinePlan / StreamingPlan above). These are the
+  // authoritative storage; the flat aliases below are references into
+  // them, kept so the historical field names (`opts.p1 = ...`) keep
+  // working unchanged.
+  RefinePlan refine;
+  StreamingPlan streaming;
+
+  // Field-compat aliases. Reading or writing one touches the nested plan
+  // directly. The user-defined copy/move operations below copy only the
+  // value members, so each object's aliases always bind to its *own*
+  // plans (the default memberwise copy would silently alias the source's).
+  double& q_tolerance = refine.q_tolerance;
+  int& max_inner_iterations = refine.max_inner_iterations;
+  int& max_levels = refine.max_levels;
+  int& stagnation_window = refine.stagnation_window;
+  ThresholdModel& threshold = refine.threshold;
+  double& p1 = refine.p1;
+  double& p2 = refine.p2;
+  std::size_t& gain_histogram_bins = refine.gain_histogram_bins;
+  int& full_rebuild_every = refine.full_rebuild_every;
+  double& adaptive_rebuild_drift = refine.adaptive_rebuild_drift;
+  bool& overlap = refine.overlap;
+  double& resolution = refine.resolution;
+
+  // No move operations: with user-defined copy operations none are
+  // implicitly declared, so rvalues copy — correct (the aliases must
+  // rebind per object) and cheap (hosts is the only allocation).
+  ParOptions() = default;
+  ParOptions(const ParOptions& other) : ParOptions() { *this = other; }
+  ParOptions& operator=(const ParOptions& other) {
+    nranks = other.nranks;
+    partition = other.partition;
+    transport = other.transport;
+    hosts = other.hosts;
+    tcp_rank = other.tcp_rank;
+    ranks_per_proc = other.ranks_per_proc;
+    flat_collectives = other.flat_collectives;
+    validate_transport = other.validate_transport;
+    hash = other.hash;
+    table_max_load = other.table_max_load;
+    aggregator_capacity = other.aggregator_capacity;
+    chunk_pool_watermark = other.chunk_pool_watermark;
+    record_trace = other.record_trace;
+    refine = other.refine;
+    streaming = other.streaming;
+    return *this;
+  }
+
+  /// Preset: the most auditable configuration — deterministic refine plan
+  /// (rebuild every iteration) plus cold-rebuild-every-batch streaming.
+  [[nodiscard]] static ParOptions deterministic() {
+    ParOptions opts;
+    opts.refine = RefinePlan::deterministic();
+    opts.streaming = StreamingPlan::deterministic();
+    return opts;
+  }
+
+  /// Preset: lowest latency — delta-only refine plan plus frontier
+  /// streaming with no cadence rebuilds.
+  [[nodiscard]] static ParOptions fast() {
+    ParOptions opts;
+    opts.refine = RefinePlan::fast();
+    opts.streaming = StreamingPlan::fast();
+    return opts;
+  }
 
   /// Rejects inconsistent knob combinations with messages that name the
   /// offending field, the offered value, and the accepted range. Called
@@ -268,6 +421,17 @@ struct ParOptions {
       fail("adaptive_rebuild_drift must be >= 0, got " +
            std::to_string(adaptive_rebuild_drift) +
            " (kAdaptiveRebuildOff = 0 disables the churn-driven rebuild trigger)");
+    }
+    if (streaming.rebuild_every_batches < 0) {
+      fail("streaming.rebuild_every_batches must be >= 0, got " +
+           std::to_string(streaming.rebuild_every_batches) +
+           " (kNeverColdRebuild = 0 disables cadence cold rebuilds, "
+           "kColdRebuildEveryBatch = 1 makes every apply a cold run)");
+    }
+    // Negated comparisons so NaN fails instead of slipping by.
+    if (!(streaming.max_delta_fraction >= 0.0) || !(streaming.max_delta_fraction <= 1.0)) {
+      fail("streaming.max_delta_fraction must be in [0, 1], got " +
+           std::to_string(streaming.max_delta_fraction));
     }
     if (!(resolution > 0.0) || !std::isfinite(resolution)) {
       fail("resolution must be a positive finite value, got " + std::to_string(resolution));

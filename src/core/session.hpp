@@ -1,0 +1,140 @@
+// plv::Session — the long-lived streaming front door.
+//
+// A Session keeps a whole fleet resident: the ranks spawned at
+// construction stay alive (threads, forked processes, TCP mesh peers, or
+// hybrid groups — whatever ParOptions::transport selects), each holding
+// its replica of the edge list, its slice of the level-0 In_Table, and
+// the current composed partition. apply(EdgeDelta) patches the In_Table
+// in place and re-refines only the disturbed region (StreamingPlan
+// controls the frontier and the cold-rebuild cadence); snapshot() hands
+// out immutable epoch-stamped partitions that readers keep for as long
+// as they like, without ever blocking an in-flight apply.
+//
+// How the fleet stays warm: every pml transport runs rank 0 inside the
+// calling process (threads trivially; proc/tcp/hybrid fork only ranks
+// 1..n-1), so rank 0's body doubles as the command pump — it blocks on
+// the Session's queue, then broadcasts each command to the peers through
+// ordinary Comm collectives. Peers spend idle time parked in that
+// broadcast; no transport is torn down between batches.
+//
+// Threading contract: apply()/close() serialize against each other;
+// snapshot()/query()/community_members()/epoch() may be called from any
+// thread at any time (they take the queue mutex only for a pointer copy,
+// never for the duration of a refine).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/louvain.hpp"
+#include "core/options.hpp"
+
+namespace plv {
+
+namespace pml {
+class Comm;
+}  // namespace pml
+
+namespace core::detail {
+
+/// One queued fleet command. kApply carries the delta; kShutdown ends the
+/// rank bodies (and thereby the fleet).
+struct SessionCommand {
+  enum class Kind : std::uint32_t { kApply = 1, kShutdown = 2 };
+  Kind kind{Kind::kApply};
+  EdgeDelta delta;
+  std::uint64_t seq{0};
+};
+
+/// State shared between the Session handle (user threads) and rank 0 of
+/// the resident fleet. Only the rank-0 process ever touches the mutex /
+/// condition variable / snapshot slot; forked peers see a copy-on-write
+/// image of the init fields and learn everything else through Comm
+/// broadcasts.
+struct SessionShared {
+  // Immutable after construction (read by every rank, including forked
+  // children via the pre-fork memory image).
+  graph::EdgeList init_edges;
+  std::vector<vid_t> init_labels;  // empty = cold initial run
+  const EdgeSliceFn* init_stream{nullptr};
+  vid_t init_n{0};
+  core::ParOptions opts;
+
+  // Command queue + completion signalling (rank-0 process only).
+  std::mutex mu;
+  std::condition_variable cv;
+  bool has_command{false};
+  SessionCommand command;
+  std::uint64_t completed{0};  // epoch of the latest published snapshot
+  bool dead{false};
+  std::exception_ptr error;
+
+  // Latest published snapshot; swapped under `mu`, read by pointer copy.
+  std::shared_ptr<const LabelSnapshot> snap;
+};
+
+/// The SPMD body every rank of the resident fleet runs; defined in
+/// louvain_par.cpp next to the engine it drives.
+void session_rank_body(::plv::pml::Comm& comm, SessionShared& shared);
+
+}  // namespace core::detail
+
+class Session {
+ public:
+  /// Spawns the fleet, runs the initial full detection on `source`
+  /// (cold, warm-seeded, delta-composed, or streamed — any GraphSource
+  /// mode), and publishes epoch 0 before returning. The source's
+  /// referents are only borrowed for the duration of the constructor:
+  /// the Session copies the edge list (or gathers the stream's slices)
+  /// into fleet-resident state.
+  ///
+  /// Requirements checked here: StreamingPlan::frontier needs the cyclic
+  /// partition (block ownership shifts with the vertex count), and a
+  /// multi-host TCP fleet can only be driven from its rank-0 process.
+  Session(const GraphSource& source, const core::ParOptions& opts);
+
+  /// Shuts the fleet down (close()) if still running.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Applies one batch of edge updates and blocks until the new epoch is
+  /// published, returning its snapshot. Throws if the batch is invalid
+  /// (e.g. a removal naming no existing edge) or the fleet has died —
+  /// after a throw the Session is dead and only close() remains useful.
+  std::shared_ptr<const LabelSnapshot> apply(const EdgeDelta& batch);
+
+  /// Latest published snapshot (never null after construction). Readers
+  /// keep the returned pointer as long as they like; in-flight applies
+  /// publish new epochs without touching it.
+  [[nodiscard]] std::shared_ptr<const LabelSnapshot> snapshot() const;
+
+  /// Epoch of the latest published snapshot (0 = initial run).
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Community of vertex v in the latest snapshot.
+  [[nodiscard]] vid_t query(vid_t v) const;
+
+  /// Members of community c in the latest snapshot, ascending.
+  [[nodiscard]] std::vector<vid_t> community_members(vid_t c) const;
+
+  /// Stops the fleet and joins it. Idempotent; called by the destructor.
+  void close();
+
+ private:
+  std::shared_ptr<const LabelSnapshot> wait_for_epoch(std::uint64_t seq);
+
+  std::unique_ptr<core::detail::SessionShared> shared_;
+  std::thread fleet_;
+  std::mutex apply_mu_;          // serializes apply()/close() callers
+  std::uint64_t submitted_{0};   // last command seq handed to the fleet
+  bool closed_{false};
+};
+
+}  // namespace plv

@@ -52,6 +52,16 @@
 //
 // SPMD typing convention: all ranks participating in a collective pass
 // the same T, mirroring MPI's untyped buffers.
+//
+// Long-lived rank bodies: nothing in the protocol assumes a rank body is
+// one-shot. A body may run an unbounded command loop — detect, park, wake
+// on the next batch, detect again — as long as every rank takes the same
+// sequence of collective/phase steps. plv::Session leans on this to keep
+// a fleet warm between update batches on every transport: rank 0 (which
+// always runs in the calling process, forked and tcp-loopback backends
+// included) dequeues host commands and rebroadcasts them through an
+// ordinary allgatherv, so peers never touch host-side synchronization
+// primitives across the fork boundary.
 #pragma once
 
 #include <algorithm>

@@ -38,9 +38,9 @@ constexpr int kCadences[] = {1, 4, 0};
 
 TEST(DeltaEquivalence, LfrLabelsBitCompatibleAcrossCadences) {
   const auto g = gen::lfr({.n = 1500, .mu = 0.3, .seed = 7});
-  const auto reference = louvain_parallel(g.edges, 1500, opts_with_cadence(1));
+  const auto reference = plv::louvain(GraphSource::from_edges(g.edges, 1500), opts_with_cadence(1));
   for (int cadence : {4, 0}) {
-    const auto r = louvain_parallel(g.edges, 1500, opts_with_cadence(cadence));
+    const auto r = plv::louvain(GraphSource::from_edges(g.edges, 1500), opts_with_cadence(cadence));
     EXPECT_EQ(r.final_labels, reference.final_labels) << "cadence " << cadence;
     EXPECT_NEAR(r.final_modularity, reference.final_modularity, 1e-12);
     ASSERT_EQ(r.levels.size(), reference.levels.size());
@@ -59,10 +59,10 @@ TEST(DeltaEquivalence, RandomizedErGraphsAgreeAcrossCadencesAndRanks) {
     const auto edges = gen::erdos_renyi({.n = 600, .m = 3000, .seed = seed});
     for (int nranks : {1, 4}) {
       const auto reference =
-          louvain_parallel(edges, 600, opts_with_cadence(1, nranks));
+          plv::louvain(GraphSource::from_edges(edges, 600), opts_with_cadence(1, nranks));
       for (int cadence : {4, 0}) {
         const auto r =
-            louvain_parallel(edges, 600, opts_with_cadence(cadence, nranks));
+            plv::louvain(GraphSource::from_edges(edges, 600), opts_with_cadence(cadence, nranks));
         EXPECT_EQ(r.final_labels, reference.final_labels)
             << "seed " << seed << " nranks " << nranks << " cadence " << cadence;
         EXPECT_NEAR(r.final_modularity, reference.final_modularity, 1e-12);
@@ -82,9 +82,9 @@ TEST(DeltaEquivalence, IntegerWeightedGraphStaysExact) {
     const auto v = static_cast<vid_t>(rng.next_below(n));
     edges.add(u, v, static_cast<weight_t>(rng.next_below(9) + 1));
   }
-  const auto reference = louvain_parallel(edges, n, opts_with_cadence(1));
+  const auto reference = plv::louvain(GraphSource::from_edges(edges, n), opts_with_cadence(1));
   for (int cadence : {4, 0}) {
-    const auto r = louvain_parallel(edges, n, opts_with_cadence(cadence));
+    const auto r = plv::louvain(GraphSource::from_edges(edges, n), opts_with_cadence(cadence));
     EXPECT_EQ(r.final_labels, reference.final_labels) << "cadence " << cadence;
     EXPECT_NEAR(r.final_modularity, reference.final_modularity, 1e-12);
   }
@@ -97,9 +97,9 @@ TEST(DeltaEquivalence, WarmStartEntryPointAgreesAcrossCadences) {
   std::vector<vid_t> warm(1000);
   for (vid_t v = 0; v < 1000; ++v) warm[v] = g.ground_truth[v] / 2 * 2 % 1000;
   const auto reference =
-      louvain_parallel_warm(g.edges, 1000, warm, opts_with_cadence(1));
+      plv::louvain(GraphSource::from_edges_warm(g.edges, warm, 1000), opts_with_cadence(1));
   for (int cadence : {4, 0}) {
-    const auto r = louvain_parallel_warm(g.edges, 1000, warm, opts_with_cadence(cadence));
+    const auto r = plv::louvain(GraphSource::from_edges_warm(g.edges, warm, 1000), opts_with_cadence(cadence));
     EXPECT_EQ(r.final_labels, reference.final_labels) << "cadence " << cadence;
     EXPECT_NEAR(r.final_modularity, reference.final_modularity, 1e-12);
   }
@@ -107,7 +107,7 @@ TEST(DeltaEquivalence, WarmStartEntryPointAgreesAcrossCadences) {
 
 TEST(DeltaEquivalence, StreamedEntryPointAgreesAcrossCadences) {
   const auto g = gen::lfr({.n = 1000, .mu = 0.3, .seed = 37});
-  const auto slice_of = [&](int rank, int nranks) {
+  const EdgeSliceFn slice_of = [&](int rank, int nranks) {
     graph::EdgeList slice;  // round-robin by record index
     for (std::size_t i = static_cast<std::size_t>(rank); i < g.edges.size();
          i += static_cast<std::size_t>(nranks)) {
@@ -117,9 +117,9 @@ TEST(DeltaEquivalence, StreamedEntryPointAgreesAcrossCadences) {
     return slice;
   };
   const auto reference =
-      louvain_parallel_streamed(slice_of, 1000, opts_with_cadence(1));
+      plv::louvain(GraphSource::from_stream(slice_of, 1000), opts_with_cadence(1));
   for (int cadence : {4, 0}) {
-    const auto r = louvain_parallel_streamed(slice_of, 1000, opts_with_cadence(cadence));
+    const auto r = plv::louvain(GraphSource::from_stream(slice_of, 1000), opts_with_cadence(cadence));
     EXPECT_EQ(r.final_labels, reference.final_labels) << "cadence " << cadence;
     EXPECT_NEAR(r.final_modularity, reference.final_modularity, 1e-12);
   }
@@ -137,9 +137,9 @@ TEST(DeltaEquivalence, FractionalWeightsDriftStaysBounded) {
     const auto v = static_cast<vid_t>(rng.next_below(n));
     edges.add(u, v, 0.1 * static_cast<weight_t>(rng.next_below(20) + 1));
   }
-  const auto reference = louvain_parallel(edges, n, opts_with_cadence(1));
+  const auto reference = plv::louvain(GraphSource::from_edges(edges, n), opts_with_cadence(1));
   for (int cadence : {4, 0}) {
-    const auto r = louvain_parallel(edges, n, opts_with_cadence(cadence));
+    const auto r = plv::louvain(GraphSource::from_edges(edges, n), opts_with_cadence(cadence));
     EXPECT_NEAR(r.final_modularity, reference.final_modularity, 1e-6)
         << "cadence " << cadence;
   }
@@ -150,11 +150,11 @@ TEST(AdaptiveCadence, TrajectoryIsBitCompatibleAcrossDriftThresholds) {
   // happen, never what they compute: on integer-weight graphs every drift
   // threshold must reproduce the rebuild-always trajectory bitwise.
   const auto g = gen::lfr({.n = 1500, .mu = 0.3, .seed = 7});
-  const auto reference = louvain_parallel(g.edges, 1500, opts_with_cadence(1));
+  const auto reference = plv::louvain(GraphSource::from_edges(g.edges, 1500), opts_with_cadence(1));
   for (double drift : {kAdaptiveRebuildOff, 1e-9, 0.5, 8.0}) {
     auto opts = opts_with_cadence(kNeverRebuild);
     opts.adaptive_rebuild_drift = drift;
-    const auto r = louvain_parallel(g.edges, 1500, opts);
+    const auto r = plv::louvain(GraphSource::from_edges(g.edges, 1500), opts);
     EXPECT_EQ(r.final_labels, reference.final_labels) << "drift " << drift;
     EXPECT_NEAR(r.final_modularity, reference.final_modularity, 1e-12);
   }
@@ -164,13 +164,13 @@ TEST(AdaptiveCadence, TrafficSitsBetweenPureDeltaAndAlwaysRebuild) {
   // A mid drift threshold fires *some* rebuilds: more records than the
   // trigger-off pure-delta run, fewer than rebuilding every iteration.
   const auto g = gen::lfr({.n = 2000, .mu = 0.3, .seed = 53});
-  const auto always = louvain_parallel(g.edges, 2000, opts_with_cadence(1));
+  const auto always = plv::louvain(GraphSource::from_edges(g.edges, 2000), opts_with_cadence(1));
   auto off_opts = opts_with_cadence(kNeverRebuild);
   off_opts.adaptive_rebuild_drift = kAdaptiveRebuildOff;
-  const auto pure_delta = louvain_parallel(g.edges, 2000, off_opts);
+  const auto pure_delta = plv::louvain(GraphSource::from_edges(g.edges, 2000), off_opts);
   auto mid_opts = opts_with_cadence(kNeverRebuild);
   mid_opts.adaptive_rebuild_drift = 0.25;
-  const auto adaptive = louvain_parallel(g.edges, 2000, mid_opts);
+  const auto adaptive = plv::louvain(GraphSource::from_edges(g.edges, 2000), mid_opts);
 
   ASSERT_EQ(adaptive.final_labels, always.final_labels);
   EXPECT_GT(adaptive.traffic.records_sent, pure_delta.traffic.records_sent)
@@ -188,8 +188,8 @@ TEST(AdaptiveCadence, CounterStaysHardUpperBound) {
   huge_opts.adaptive_rebuild_drift = 1e18;
   auto off_opts = opts_with_cadence(4);
   off_opts.adaptive_rebuild_drift = kAdaptiveRebuildOff;
-  const auto huge = louvain_parallel(g.edges, 1500, huge_opts);
-  const auto off = louvain_parallel(g.edges, 1500, off_opts);
+  const auto huge = plv::louvain(GraphSource::from_edges(g.edges, 1500), huge_opts);
+  const auto off = plv::louvain(GraphSource::from_edges(g.edges, 1500), off_opts);
   EXPECT_EQ(huge.final_labels, off.final_labels);
   EXPECT_EQ(huge.traffic.records_sent, off.traffic.records_sent);
 }
@@ -201,8 +201,8 @@ TEST(DeltaTraffic, SteadyStateIterationsShipFarFewerRecords) {
   // every iteration — measured on the same graph, same labels (the paths
   // are bit-compatible, so iteration counts line up exactly).
   const auto g = gen::lfr({.n = 2000, .mu = 0.3, .seed = 53});
-  const auto full = louvain_parallel(g.edges, 2000, opts_with_cadence(1));
-  const auto delta = louvain_parallel(g.edges, 2000, opts_with_cadence(0));
+  const auto full = plv::louvain(GraphSource::from_edges(g.edges, 2000), opts_with_cadence(1));
+  const auto delta = plv::louvain(GraphSource::from_edges(g.edges, 2000), opts_with_cadence(0));
   ASSERT_EQ(full.final_labels, delta.final_labels);  // same trajectory
   ASSERT_FALSE(full.levels.empty());
 

@@ -46,7 +46,7 @@ TEST(EdgeCases, CompleteGraphCollapsesToOneCommunity) {
   EXPECT_EQ(metrics::count_communities(s.final_labels), 1u);
   EXPECT_NEAR(s.final_modularity, 0.0, 1e-12);  // Q of the whole graph is 0
 
-  const auto p = core::louvain_parallel(e, 12, par2());
+  const auto p = plv::louvain(GraphSource::from_edges(e, 12), par2());
   EXPECT_EQ(metrics::count_communities(p.final_labels), 1u);
 }
 
@@ -55,7 +55,7 @@ TEST(EdgeCases, StarGraphIsOneCommunity) {
   const auto e = star_graph(10);
   const auto s = seq::louvain(graph::Csr::from_edges(e));
   EXPECT_EQ(metrics::count_communities(s.final_labels), 1u);
-  const auto p = core::louvain_parallel(e, 11, par2());
+  const auto p = plv::louvain(GraphSource::from_edges(e, 11), par2());
   EXPECT_EQ(metrics::count_communities(p.final_labels), 1u);
 }
 
@@ -66,7 +66,7 @@ TEST(EdgeCases, CompleteBipartiteStaysTogetherOrBalanced) {
   const auto e = complete_bipartite(6, 6);
   const auto g = graph::Csr::from_edges(e);
   const auto s = seq::louvain(g);
-  const auto p = core::louvain_parallel(e, 12, par2());
+  const auto p = plv::louvain(GraphSource::from_edges(e, 12), par2());
   EXPECT_GE(s.final_modularity, -1e-12);   // greedy sequential never goes below 0
   EXPECT_GE(p.final_modularity, -0.05);    // parallel reports its true final state
   EXPECT_NEAR(s.final_modularity, p.final_modularity, 0.3);
@@ -81,7 +81,7 @@ TEST(EdgeCases, TwoDisconnectedCliquesSplitExactly) {
   EXPECT_EQ(metrics::count_communities(s.final_labels), 2u);
   EXPECT_NEAR(s.final_modularity, 0.5, 1e-12);  // two equal halves: Q = 1/2
 
-  const auto p = core::louvain_parallel(e, 10, par2());
+  const auto p = plv::louvain(GraphSource::from_edges(e, 10), par2());
   EXPECT_EQ(metrics::count_communities(p.final_labels), 2u);
   EXPECT_NEAR(p.final_modularity, 0.5, 1e-12);
 }
@@ -107,7 +107,7 @@ TEST(EdgeCases, SingleVertexSelfLoopOnly) {
   const auto s = seq::louvain(graph::Csr::from_edges(e));
   EXPECT_EQ(metrics::count_communities(s.final_labels), 1u);
   EXPECT_NEAR(s.final_modularity, 0.0, 1e-12);  // Σin = 2m, Σtot = 2m
-  const auto p = core::louvain_parallel(e, 1, par2());
+  const auto p = plv::louvain(GraphSource::from_edges(e, 1), par2());
   EXPECT_NEAR(p.final_modularity, 0.0, 1e-12);
 }
 
@@ -121,7 +121,7 @@ TEST(EdgeCases, HeavySelfLoopsAnchorVertices) {
   const auto g = graph::Csr::from_edges(e);
   const auto s = seq::louvain(g);
   EXPECT_NEAR(s.final_modularity, metrics::modularity(g, s.final_labels), 1e-12);
-  const auto p = core::louvain_parallel(e, 2, par2());
+  const auto p = plv::louvain(GraphSource::from_edges(e, 2), par2());
   EXPECT_NEAR(p.final_modularity, metrics::modularity(g, p.final_labels), 1e-12);
 }
 

@@ -18,7 +18,8 @@
 // ~1e-12 of the tolerance could in principle flip.
 #include <gtest/gtest.h>
 
-#include "core/louvain_par.hpp"
+#include "common/louvain.hpp"
+#include "core/options.hpp"
 #include "gen/lfr.hpp"
 #include "gen/rmat.hpp"
 
@@ -29,8 +30,8 @@ graph::EdgeList test_graph() {
   return gen::lfr({.n = 1200, .mu = 0.35, .seed = 91}).edges;
 }
 
-ParResult run(const graph::EdgeList& edges, const ParOptions& opts) {
-  return louvain_parallel(edges, 1200, opts);
+Result run(const graph::EdgeList& edges, const ParOptions& opts) {
+  return plv::louvain(GraphSource::from_edges(edges, 1200), opts);
 }
 
 TEST(Invariance, HashFunctionDoesNotChangeResult) {
@@ -127,7 +128,8 @@ TEST(Invariance, RmatSkewDoesNotBreakAnyCombination) {
       ParOptions opts;
       opts.nranks = nranks;
       opts.partition = part;
-      results.push_back(louvain_parallel(edges, 1u << p.scale, opts).final_labels);
+      results.push_back(
+          plv::louvain(GraphSource::from_edges(edges, 1u << p.scale), opts).final_labels);
     }
   }
   for (std::size_t i = 1; i < results.size(); ++i) {

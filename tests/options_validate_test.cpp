@@ -274,6 +274,72 @@ TEST(OptionsValidate, RejectsHostsOnHybridTransport) {
   expect_rejected(opts, "hosts");
 }
 
+TEST(OptionsValidate, RejectsNegativeStreamingCadence) {
+  ParOptions opts;
+  opts.streaming.rebuild_every_batches = -3;
+  expect_rejected(opts, "rebuild_every_batches");
+  opts.streaming.rebuild_every_batches = kNeverColdRebuild;
+  EXPECT_NO_THROW(opts.validate());
+  opts.streaming.rebuild_every_batches = kColdRebuildEveryBatch;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsOutOfRangeMaxDeltaFraction) {
+  ParOptions opts;
+  opts.streaming.max_delta_fraction = -0.1;
+  expect_rejected(opts, "max_delta_fraction");
+  opts.streaming.max_delta_fraction = 1.5;
+  expect_rejected(opts, "max_delta_fraction");
+  opts.streaming.max_delta_fraction = std::nan("");
+  expect_rejected(opts, "max_delta_fraction");
+  opts.streaming.max_delta_fraction = 0.0;  // boundary: never incremental
+  EXPECT_NO_THROW(opts.validate());
+  opts.streaming.max_delta_fraction = 1.0;  // boundary: any batch size
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsPlans, PresetsValidateAndPinTheirContracts) {
+  // deterministic(): every batch is a cold rebuild, frontier off —
+  // bit-identical to one-shot runs. fast(): never rebuild cold, frontier
+  // on — lowest latency.
+  EXPECT_NO_THROW(ParOptions::deterministic().validate());
+  EXPECT_NO_THROW(ParOptions::fast().validate());
+  EXPECT_EQ(StreamingPlan::deterministic().rebuild_every_batches,
+            kColdRebuildEveryBatch);
+  EXPECT_FALSE(StreamingPlan::deterministic().frontier);
+  EXPECT_EQ(StreamingPlan::fast().rebuild_every_batches, kNeverColdRebuild);
+  EXPECT_TRUE(StreamingPlan::fast().frontier);
+  EXPECT_EQ(RefinePlan::deterministic().adaptive_rebuild_drift, kAdaptiveRebuildOff);
+}
+
+TEST(OptionsPlans, FlatAliasesReadAndWriteTheNestedPlans) {
+  // The pre-plan flat fields stay usable: they are references into the
+  // nested RefinePlan, so writes through either spelling are visible
+  // through the other.
+  ParOptions opts;
+  opts.resolution = 2.5;
+  EXPECT_EQ(opts.refine.resolution, 2.5);
+  opts.refine.full_rebuild_every = 7;
+  EXPECT_EQ(opts.full_rebuild_every, 7);
+  opts.max_levels = 3;
+  EXPECT_EQ(opts.refine.max_levels, 3);
+}
+
+TEST(OptionsPlans, CopiesRebindAliasesToTheirOwnPlans) {
+  // Copying must not leave the copy's aliases pointing into the source's
+  // plans (the classic reference-member copy bug).
+  ParOptions a;
+  a.resolution = 3.0;
+  ParOptions b = a;
+  EXPECT_EQ(b.resolution, 3.0);
+  b.resolution = 0.5;
+  EXPECT_EQ(a.resolution, 3.0) << "copy aliased the source's plan";
+  EXPECT_EQ(b.refine.resolution, 0.5);
+  a = b;
+  a.max_levels = 9;
+  EXPECT_NE(b.max_levels, 9);
+}
+
 TEST(OptionsValidate, EntryPointsRejectBeforeSpawningRanks) {
   // The front door must surface the validation error directly (no rank
   // fleet, no wrapped exception).

@@ -29,7 +29,7 @@ EngineOutputs run_both(const graph::EdgeList& edges, vid_t n, int nranks = 4) {
   out.seq = seq::louvain(out.csr);
   core::ParOptions popts;
   popts.nranks = nranks;
-  out.par = core::louvain_parallel(edges, n, popts);
+  out.par = plv::louvain(GraphSource::from_edges(edges, n), popts);
   return out;
 }
 
@@ -107,8 +107,8 @@ TEST(ParVsSeq, HeuristicBeatsNaiveOnModularityPerRound) {
   with.max_levels = 1;  // one outer round only
   core::ParOptions without = with;
   without.threshold = core::ThresholdModel::kNone;
-  const auto a = core::louvain_parallel(g.edges, 2000, with);
-  const auto b = core::louvain_parallel(g.edges, 2000, without);
+  const auto a = plv::louvain(GraphSource::from_edges(g.edges, 2000), with);
+  const auto b = plv::louvain(GraphSource::from_edges(g.edges, 2000), without);
   ASSERT_FALSE(a.levels.empty());
   ASSERT_FALSE(b.levels.empty());
   EXPECT_GE(a.levels[0].modularity, b.levels[0].modularity - 0.02);

@@ -5,7 +5,8 @@
 // baseline (the paper's Fig. 4 claim expressed as a parameterized test).
 #include <gtest/gtest.h>
 
-#include "core/louvain_par.hpp"
+#include "common/louvain.hpp"
+#include "core/options.hpp"
 #include "gen/lfr.hpp"
 #include "graph/csr.hpp"
 #include "metrics/modularity.hpp"
@@ -47,7 +48,7 @@ TEST_P(MuSweep, ParallelWithinConstantFactorOfSequential) {
   const auto s = seq::louvain(csr);
   core::ParOptions opts;
   opts.nranks = 4;
-  const auto p = core::louvain_parallel(g.edges, 1500, opts);
+  const auto p = louvain(GraphSource::from_edges(g.edges, 1500), opts);
   EXPECT_GT(p.final_modularity, 0.8 * s.final_modularity) << "mu=" << mu;
   EXPECT_NEAR(p.final_modularity, metrics::modularity(csr, p.final_labels), 1e-9);
 }

@@ -55,8 +55,8 @@ TEST(Resolution, HigherGammaYieldsMoreCommunitiesPar) {
   lo.nranks = hi.nranks = 4;
   lo.resolution = 0.5;
   hi.resolution = 4.0;
-  const auto r_lo = core::louvain_parallel(g.edges, 2000, lo);
-  const auto r_hi = core::louvain_parallel(g.edges, 2000, hi);
+  const auto r_lo = plv::louvain(GraphSource::from_edges(g.edges, 2000), lo);
+  const auto r_hi = plv::louvain(GraphSource::from_edges(g.edges, 2000), hi);
   EXPECT_LT(metrics::count_communities(r_lo.final_labels),
             metrics::count_communities(r_hi.final_labels));
 }
@@ -74,7 +74,7 @@ TEST(Resolution, ReportedQMatchesRecomputationAtGamma) {
     core::ParOptions popts;
     popts.nranks = 3;
     popts.resolution = gamma;
-    const auto rp = core::louvain_parallel(g.edges, 800, popts);
+    const auto rp = plv::louvain(GraphSource::from_edges(g.edges, 800), popts);
     EXPECT_NEAR(rp.final_modularity,
                 metrics::modularity(csr, rp.final_labels, gamma), 1e-9);
   }

@@ -1,9 +1,10 @@
 // Distributed ingestion must be a pure refactoring of the input path:
-// louvain_parallel_streamed on slices == louvain_parallel on their
+// a from_stream GraphSource over slices == from_edges over their
 // concatenation, bit for bit.
 #include <gtest/gtest.h>
 
-#include "core/louvain_par.hpp"
+#include "common/louvain.hpp"
+#include "core/options.hpp"
 #include "gen/lfr.hpp"
 #include "gen/rmat.hpp"
 
@@ -32,9 +33,10 @@ class StreamedIngest : public ::testing::TestWithParam<int> {};
 
 TEST_P(StreamedIngest, BitIdenticalToMonolithicOnLfr) {
   const auto g = gen::lfr({.n = 800, .mu = 0.35, .seed = 71});
-  const auto mono = louvain_parallel(g.edges, 800, opts_with(GetParam()));
+  const auto mono = plv::louvain(GraphSource::from_edges(g.edges, 800), opts_with(GetParam()));
+  const EdgeSliceFn slice = round_robin(g.edges);
   const auto streamed =
-      louvain_parallel_streamed(round_robin(g.edges), 800, opts_with(GetParam()));
+      plv::louvain(GraphSource::from_stream(slice, 800), opts_with(GetParam()));
   EXPECT_EQ(streamed.final_labels, mono.final_labels);
   EXPECT_DOUBLE_EQ(streamed.final_modularity, mono.final_modularity);
   EXPECT_EQ(streamed.num_levels(), mono.num_levels());
@@ -48,16 +50,18 @@ TEST_P(StreamedIngest, RmatSlicesComposeLikeTheGenerator) {
   p.edge_factor = 8;
   p.seed = 72;
   const std::uint64_t total = static_cast<std::uint64_t>(p.edge_factor) << p.scale;
-  const auto mono = louvain_parallel(gen::rmat(p), 1u << p.scale, opts_with(GetParam()));
-  const auto streamed = louvain_parallel_streamed(
-      [&](int rank, int nranks) {
+  const auto rmat_edges = gen::rmat(p);
+  const auto mono =
+      plv::louvain(GraphSource::from_edges(rmat_edges, 1u << p.scale), opts_with(GetParam()));
+  const EdgeSliceFn rmat_sliced = [&](int rank, int nranks) {
         const std::uint64_t per = total / static_cast<std::uint64_t>(nranks);
         const std::uint64_t first = per * static_cast<std::uint64_t>(rank);
         const std::uint64_t count =
             rank == nranks - 1 ? total - first : per;  // remainder to last rank
-        return gen::rmat_slice(p, first, count);
-      },
-      1u << p.scale, opts_with(GetParam()));
+    return gen::rmat_slice(p, first, count);
+  };
+  const auto streamed =
+      plv::louvain(GraphSource::from_stream(rmat_sliced, 1u << p.scale), opts_with(GetParam()));
   EXPECT_EQ(streamed.final_labels, mono.final_labels);
   EXPECT_DOUBLE_EQ(streamed.final_modularity, mono.final_modularity);
 }
@@ -72,15 +76,16 @@ TEST(StreamedIngest, SelfLoopsAndWeightsSurviveRouting) {
   edges.add(0, 1, 2.5);
   edges.add(2, 2, 1.5);
   edges.add(1, 2, 0.5);
-  const auto mono = louvain_parallel(edges, 3, opts_with(2));
-  const auto streamed = louvain_parallel_streamed(round_robin(edges), 3, opts_with(2));
+  const auto mono = plv::louvain(GraphSource::from_edges(edges, 3), opts_with(2));
+  const EdgeSliceFn slice = round_robin(edges);
+  const auto streamed = plv::louvain(GraphSource::from_stream(slice, 3), opts_with(2));
   EXPECT_EQ(streamed.final_labels, mono.final_labels);
   EXPECT_DOUBLE_EQ(streamed.final_modularity, mono.final_modularity);
 }
 
 TEST(StreamedIngest, EmptyGraph) {
-  const auto r = louvain_parallel_streamed(
-      [](int, int) { return graph::EdgeList{}; }, 0, opts_with(2));
+  const EdgeSliceFn nothing = [](int, int) { return graph::EdgeList{}; };
+  const auto r = plv::louvain(GraphSource::from_stream(nothing, 0), opts_with(2));
   EXPECT_TRUE(r.final_labels.empty());
 }
 

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 
+#include "common/louvain.hpp"
 #include "common/random.hpp"
-#include "core/louvain_par.hpp"
+#include "core/options.hpp"
 #include "gen/lfr.hpp"
 #include "gen/planted.hpp"
 #include "graph/csr.hpp"
@@ -25,9 +27,10 @@ TEST(WarmStart, GroundTruthSeedConvergesImmediately) {
   // first member of each community as its label).
   std::vector<vid_t> seed_labels(128);
   for (vid_t v = 0; v < 128; ++v) seed_labels[v] = g.ground_truth[v] * 16;
-  const auto warm = louvain_parallel_warm(g.edges, 128, seed_labels, opts_with(4));
+  const auto warm =
+      plv::louvain(GraphSource::from_edges_warm(g.edges, seed_labels, 128), opts_with(4));
   // Already optimal: one level, no quality loss vs cold start.
-  const auto cold = louvain_parallel(g.edges, 128, opts_with(4));
+  const auto cold = plv::louvain(GraphSource::from_edges(g.edges, 128), opts_with(4));
   EXPECT_GE(warm.final_modularity, cold.final_modularity - 1e-9);
   EXPECT_GT(metrics::nmi(warm.final_labels, g.ground_truth), 0.99);
   ASSERT_FALSE(warm.levels.empty());
@@ -40,8 +43,9 @@ TEST(WarmStart, MatchesColdStartQualityFromSingletonSeed) {
   const auto g = gen::lfr({.n = 800, .mu = 0.3, .seed = 96});
   std::vector<vid_t> singletons(800);
   for (vid_t v = 0; v < 800; ++v) singletons[v] = v;
-  const auto warm = louvain_parallel_warm(g.edges, 800, singletons, opts_with(3));
-  const auto cold = louvain_parallel(g.edges, 800, opts_with(3));
+  const auto warm =
+      plv::louvain(GraphSource::from_edges_warm(g.edges, singletons, 800), opts_with(3));
+  const auto cold = plv::louvain(GraphSource::from_edges(g.edges, 800), opts_with(3));
   EXPECT_EQ(warm.final_labels, cold.final_labels);
   EXPECT_DOUBLE_EQ(warm.final_modularity, cold.final_modularity);
 }
@@ -50,7 +54,7 @@ TEST(WarmStart, IncrementalUpdateConvergesFasterThanCold) {
   // The dynamic-graph scenario: detect, perturb the graph slightly,
   // re-detect warm vs cold.
   auto g = gen::lfr({.n = 2000, .mu = 0.25, .seed = 97});
-  const auto base = louvain_parallel(g.edges, 2000, opts_with(4));
+  const auto base = plv::louvain(GraphSource::from_edges(g.edges, 2000), opts_with(4));
 
   // Perturb: add 1% random edges.
   Xoshiro256 rng(98);
@@ -70,10 +74,10 @@ TEST(WarmStart, IncrementalUpdateConvergesFasterThanCold) {
     seed[v] = first_member[c];
   }
 
-  const auto warm = louvain_parallel_warm(g.edges, 2000, seed, opts_with(4));
-  const auto cold = louvain_parallel(g.edges, 2000, opts_with(4));
+  const auto warm = plv::louvain(GraphSource::from_edges_warm(g.edges, seed, 2000), opts_with(4));
+  const auto cold = plv::louvain(GraphSource::from_edges(g.edges, 2000), opts_with(4));
 
-  auto total_iters = [](const ParResult& r) {
+  auto total_iters = [](const Result& r) {
     std::size_t iters = 0;
     for (const auto& level : r.levels) iters += level.trace.moved_fraction.size();
     return iters;
@@ -88,16 +92,92 @@ TEST(WarmStart, ReportedQMatchesRecomputation) {
   const auto g = gen::lfr({.n = 600, .mu = 0.35, .seed = 99});
   std::vector<vid_t> seed(600);
   for (vid_t v = 0; v < 600; ++v) seed[v] = v / 3;  // arbitrary coarse seed
-  const auto r = louvain_parallel_warm(g.edges, 600, seed, opts_with(2));
+  const auto r = plv::louvain(GraphSource::from_edges_warm(g.edges, seed, 600), opts_with(2));
   const auto csr = graph::Csr::from_edges(g.edges, 600);
   EXPECT_NEAR(r.final_modularity, metrics::modularity(csr, r.final_labels), 1e-9);
 }
 
-TEST(WarmStart, RejectsBadSeeds) {
+// Historically malformed seeds threw; normalize_warm_labels now repairs
+// them so a label vector carried across graph updates (vertices appearing
+// or vanishing between epochs) keeps working as a seed. These tests pin
+// the repair semantics.
+
+TEST(WarmStart, ShortSeedGrowsWithSelfLabels) {
+  // Seed shorter than n (the graph gained vertices since the labels were
+  // computed): the unseeded tail starts as singletons.
   graph::EdgeList e;
   e.add(0, 1);
-  EXPECT_THROW(louvain_parallel_warm(e, 2, {0}, opts_with(1)), std::invalid_argument);
-  EXPECT_THROW(louvain_parallel_warm(e, 2, {0, 7}, opts_with(1)), std::invalid_argument);
+  const auto direct = normalize_warm_labels({0}, 2);
+  EXPECT_EQ(direct, (std::vector<vid_t>{0, 1}));
+  const auto r = plv::louvain(GraphSource::from_edges_warm(e, {0}, 2), opts_with(1));
+  EXPECT_EQ(r.final_labels.size(), 2u);
+  EXPECT_EQ(r.final_labels[0], r.final_labels[1]);  // the edge pulls them together
+}
+
+TEST(WarmStart, VanishedVertexLabelsResetToSelf) {
+  // Seed referencing a vertex id that no longer exists (the graph shrank,
+  // or the label pointed at a community anchored on a removed vertex):
+  // out-of-range entries reset to self-labels instead of throwing.
+  graph::EdgeList e;
+  e.add(0, 1);
+  const auto direct = normalize_warm_labels({0, 7}, 2);
+  EXPECT_EQ(direct, (std::vector<vid_t>{0, 1}));
+  const auto r = plv::louvain(GraphSource::from_edges_warm(e, {0, 7}, 2), opts_with(1));
+  EXPECT_EQ(r.final_labels.size(), 2u);
+  EXPECT_EQ(r.final_labels[0], r.final_labels[1]);
+}
+
+TEST(WarmStart, IsolatedNewVerticesStaySingletons) {
+  // Vertex additions with no incident edges: the warm run must keep them
+  // as their own singleton communities, not attach them anywhere.
+  const auto g = gen::planted_partition(
+      {.communities = 4, .community_size = 16, .p_intra = 0.6, .p_inter = 0.01, .seed = 41});
+  const auto base = plv::louvain(GraphSource::from_edges(g.edges, 64), opts_with(2));
+  // Grow the vertex set to 70 without touching the edge set.
+  const auto warm =
+      plv::louvain(GraphSource::from_edges_warm(g.edges, base.final_labels, 70), opts_with(2));
+  ASSERT_EQ(warm.final_labels.size(), 70u);
+  // Final labels are compacted community ids, so "stays a singleton"
+  // means: the isolated vertex's community contains exactly itself.
+  for (vid_t v = 64; v < 70; ++v) {
+    const vid_t c = warm.final_labels[v];
+    EXPECT_EQ(std::count(warm.final_labels.begin(), warm.final_labels.end(), c), 1)
+        << "vertex " << v;
+  }
+  // The connected part is unaffected by the isolated tail.
+  EXPECT_GT(metrics::nmi(std::vector<vid_t>(warm.final_labels.begin(),
+                                            warm.final_labels.begin() + 64),
+                         base.final_labels),
+            0.99);
+}
+
+TEST(WarmStart, SeedSurvivesVertexDeletionRelabeling) {
+  // The deletion scenario: a graph loses its tail vertices and the old
+  // labels (computed at the larger n) are replayed as the seed. Entries
+  // pointing into the vanished range must not poison the run.
+  auto g = gen::lfr({.n = 500, .mu = 0.2, .seed = 43});
+  const auto base = plv::louvain(GraphSource::from_edges(g.edges, 500), opts_with(2));
+  // Keep only edges among the first 400 vertices.
+  graph::EdgeList kept;
+  for (const Edge& e : g.edges) {
+    if (e.u < 400 && e.v < 400) kept.add(e.u, e.v, e.w);
+  }
+  std::vector<vid_t> stale(base.final_labels.begin(), base.final_labels.begin() + 400);
+  const auto warm = plv::louvain(GraphSource::from_edges_warm(kept, stale, 400), opts_with(2));
+  const auto csr = graph::Csr::from_edges(kept, 400);
+  EXPECT_NEAR(warm.final_modularity, metrics::modularity(csr, warm.final_labels), 1e-9);
+  EXPECT_GT(warm.final_modularity, 0.0);
+}
+
+TEST(WarmStart, FromDeltasEmptyBatchMatchesColdRun) {
+  // from_deltas with an empty batch is just a cold run on the base graph.
+  const auto g = gen::lfr({.n = 400, .mu = 0.3, .seed = 44});
+  EdgeDelta empty;
+  EXPECT_TRUE(empty.empty());
+  const auto via_delta = plv::louvain(GraphSource::from_deltas(g.edges, empty, 400), opts_with(2));
+  const auto cold = plv::louvain(GraphSource::from_edges(g.edges, 400), opts_with(2));
+  EXPECT_EQ(via_delta.final_labels, cold.final_labels);
+  EXPECT_DOUBLE_EQ(via_delta.final_modularity, cold.final_modularity);
 }
 
 }  // namespace

@@ -47,6 +47,16 @@ generic C++ hygiene; this script enforces the invariants that are about
       pattern and need no exemption; deliberate-violation tests carry
       allow markers.
 
+  rank-entry-ban
+      core::louvain_rank is the per-rank engine body — a test seam for
+      driving one rank inside a harness-owned fleet, not an entry point.
+      Library, bench, and example code must go through the plv::louvain /
+      GraphSource front door (or plv::Session for streaming), which own
+      validation, fleet spawning, and result assembly; a direct
+      louvain_rank call skips all three. Calls are banned outside tests/;
+      src/core/louvain_par.{cpp,hpp} (the definition and its declaration)
+      are exempt.
+
 Matching is textual but comment- and string-aware: // and /* */ comments
 and string literals are blanked before the rules run, so prose mentioning
 a banned name does not trip the lint. A genuine exception can be
@@ -70,6 +80,10 @@ CHUNK_EXEMPT = ("src/pml/mailbox.hpp",)
 # Aggregator/drain pairing is checked everywhere the API is used, tests
 # and benches included — a deadlocking example is still a bug.
 AGG_DIRS = ("src", "tests", "bench", "examples")
+# louvain_rank is callable from tests only; the engine's own translation
+# unit and header hold the definition/declaration.
+RANK_ENTRY_DIRS = ("src", "bench", "examples")
+RANK_ENTRY_EXEMPT = ("src/core/louvain_par.cpp", "src/core/louvain_par.hpp")
 
 CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
 
@@ -89,6 +103,7 @@ FLUSH_CALL_RE = re.compile(r"(?:\.|->)\s*(flush_all(?:_final)?)\s*\(")
 LEADER_CALL_RE = re.compile(r"(?:\.|->)\s*leader_alltoallv\s*\(")
 GROUP_CALL_RE = re.compile(r"(?:\.|->)\s*group_alltoallv\s*\(")
 IS_LEADER_RE = re.compile(r"\bis_leader\b")
+RANK_ENTRY_RE = re.compile(r"\blouvain_rank\s*\(")
 # How far above a leader_alltoallv call the is_leader guard may sit. The
 # real call site (Comm::hier_alltoallv's cross phase) stages the leader
 # blobs between the branch and the call, so the window is generous; it
@@ -197,6 +212,7 @@ class Linter:
 
         in_map_ban = rel.startswith(MAP_BAN_DIRS)
         in_chunk = rel.startswith(CHUNK_DIRS) and rel not in CHUNK_EXEMPT
+        in_rank_entry = rel.startswith(RANK_ENTRY_DIRS) and rel not in RANK_ENTRY_EXEMPT
 
         for idx, code_line in enumerate(code_lines):
             raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
@@ -213,6 +229,15 @@ class Linter:
                         path, idx + 1, "raw-chunk-release",
                         "chunk node released outside the pool API; use "
                         "Transport::release_chunk / ChunkPool::release",
+                    )
+            if in_rank_entry and RANK_ENTRY_RE.search(code_line):
+                if not allowed(raw_line, "rank-entry-ban"):
+                    self.report(
+                        path, idx + 1, "rank-entry-ban",
+                        "direct louvain_rank call outside tests/; go through "
+                        "plv::louvain / GraphSource (or plv::Session) — the "
+                        "front door owns validation, fleet spawning, and "
+                        "result assembly",
                     )
 
         # aggregator-final-drain: nearest preceding flush call before every
