@@ -51,8 +51,9 @@ int usage() {
       "  stats  --graph FILE\n"
       "  detect --graph FILE [--engine par|seq|lp] [--ranks N]\n"
       "         [--transport thread|proc|tcp|hybrid] [--resolution G]\n"
-      "         [--hosts host:port,...] [--rank R] [--ranks-per-proc N]\n"
-      "         [--validate] [--out FILE] [--tree FILE] [--warm FILE]\n"
+      "         [--heuristics] [--hosts host:port,...] [--rank R]\n"
+      "         [--ranks-per-proc N] [--validate] [--out FILE]\n"
+      "         [--tree FILE] [--warm FILE]\n"
       "  bfs    --graph FILE --root R [--ranks N]\n"
       "         [--transport thread|proc|tcp|hybrid]\n"
       "  cc     --graph FILE [--ranks N] [--transport thread|proc|tcp|hybrid]\n"
@@ -84,6 +85,11 @@ plv::graph::EdgeList load(const plv::Cli& cli) {
 plv::core::ParOptions par_opts(const plv::Cli& cli) {
   plv::core::ParOptions opts;
   opts.nranks = static_cast<int>(cli.get_int("ranks", 4));
+  // --heuristics switches the whole convergence-heuristic bundle on
+  // (active-vertex scheduling, min-label ties, vertex-following, threshold
+  // scaling — RefinePlan::heuristics()); the default keeps every heuristic
+  // off, i.e. the paper-faithful Eq. 7 refine loop.
+  if (cli.get_bool("heuristics", false)) opts.refine = plv::core::RefinePlan::heuristics();
   opts.resolution = cli.get_double("resolution", 1.0);
   opts.transport = plv::pml::parse_transport_kind(cli.get_string("transport", "thread"));
   // --validate turns the pml protocol checker on even in optimized

@@ -42,6 +42,11 @@ struct LevelTrace {
   // Propagation records shipped per iteration, summed over ranks — the
   // delta-vs-full traffic evidence (full rebuild ships Σ|In_Table|).
   std::vector<std::uint64_t> prop_records;
+  // Vertices whose join search FIND actually ran per iteration, summed
+  // over ranks — the whole level when unrestricted, the live frontier
+  // under active-vertex scheduling or a pinned Session frontier. The
+  // scanned-vertices/iteration evidence behind the pruning heuristics.
+  std::vector<std::uint64_t> scanned_vertices;
 };
 
 /// One hierarchy level (one outer-loop round).

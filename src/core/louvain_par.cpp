@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
@@ -93,6 +94,16 @@ struct CommInfo {
   std::int64_t members{0};
 };
 
+/// One (community, weight) entry of a vertex's Out_Table row, mirrored by
+/// the active-scheduling row index (RankEngine::rows_): the frontier scan
+/// walks these instead of the full table, so the weight is carried here —
+/// maintained by the same insert/retract sequence as the table slot, hence
+/// bitwise the same value.
+struct RowEntry {
+  vid_t c;
+  weight_t w;
+};
+
 /// Fills `table` with rank `me`'s slice of the level-0 In_Table: one
 /// ((v, u), w) record per in-edge of an owned u, self-loops stored as
 /// A(u, u) = 2w. Shared by one-shot ingestion (RankEngine::init_from_edges)
@@ -137,6 +148,7 @@ class RankEngine {
   void init_from_edges(const graph::EdgeList& edges, vid_t n) {
     part_ = graph::Partition1D(opts_.partition, n, comm_.nranks());
     n_level_ = n;
+    level_index_ = 0;
     fill_in_table(in_table_, edges, part_, comm_.rank(), comm_.nranks());
     init_level_state();
     two_m_ = comm_.allreduce_sum(local_strength_sum());
@@ -150,6 +162,7 @@ class RankEngine {
   void init_from_table(const hashing::EdgeTable& in0, vid_t n) {
     part_ = graph::Partition1D(opts_.partition, n, comm_.nranks());
     n_level_ = n;
+    level_index_ = 0;
     in_table_ = in0;
     init_level_state();
     two_m_ = comm_.allreduce_sum(local_strength_sum());
@@ -165,7 +178,8 @@ class RankEngine {
   /// frontier never produced a move (an undisturbed partition cannot
   /// change at coarser levels either).
   void enable_frontier(const std::vector<vid_t>& seeds) {
-    frontier_ = true;
+    pinned_ = true;
+    restricted_ = true;
     frontier_was_on_ = true;
     active_.assign(label_.size(), 0);
     const int me = comm_.rank();
@@ -212,6 +226,7 @@ class RankEngine {
   void init_from_slice(const graph::EdgeList& slice, vid_t n) {
     part_ = graph::Partition1D(opts_.partition, n, comm_.nranks());
     n_level_ = n;
+    level_index_ = 0;
     in_table_.clear();
     in_table_.reserve(2 * slice.size() / static_cast<std::size_t>(comm_.nranks()) + 16);
     pml::Aggregator<EdgeMsg> agg(comm_, opts_.aggregator_capacity);
@@ -315,7 +330,7 @@ class RankEngine {
     best_.assign(local_n, kInvalidVid);
     gain_.assign(local_n, 0.0);
     stay_score_.assign(local_n, 0.0);
-    for (vid_t l = 0; l < local_n; ++l) {
+    for (vid_t l = 0; l < local_n; ++l) {  // plv-lint: allow(refine-full-scan) -- level setup, runs once per level
       label_[l] = part_.to_global(comm_.rank(), l);
     }
     // CSR-style in-edge adjacency per owned vertex: the delta propagation
@@ -339,7 +354,7 @@ class RankEngine {
 
     comms_.clear();
     comms_.reserve(static_cast<std::size_t>(local_n) + 1);
-    for (vid_t l = 0; l < local_n; ++l) {
+    for (vid_t l = 0; l < local_n; ++l) {  // plv-lint: allow(refine-full-scan) -- level setup, runs once per level
       const vid_t u = part_.to_global(comm_.rank(), l);
       comms_.ref(u) = CommInfo{strength_[l], 0.0, 1};
     }
@@ -351,10 +366,30 @@ class RankEngine {
     // summed over ranks. The per-iteration full-vs-delta decision compares
     // the (allreduced) delta cost against this.
     full_prop_records_ = comm_.allreduce_sum(static_cast<std::uint64_t>(in_table_.size()));
-    // The frontier restriction applies to the level it was seeded on;
-    // coarser levels (and fresh inits) refine unrestricted.
-    frontier_ = false;
-    active_.clear();
+    // A pinned (Session) frontier applies to the level it was seeded on;
+    // coarser levels (and fresh inits) refine unrestricted. Active-vertex
+    // scheduling, by contrast, re-arms on every level: all vertices start
+    // schedulable, and the first delta propagation shrinks the set to the
+    // disturbed region. Small levels opt out entirely: restricting moves
+    // admits fewer movers per round, so convergence stretches across more
+    // iterations — a fine trade while FIND dominates, a loss once the
+    // level is collective-bound (scanning a few hundred vertices is free,
+    // but every extra iteration pays the full reduction rounds).
+    pinned_ = false;
+    restricted_ = false;
+    prune_ = opts_.refine.active_scheduling &&
+             n_level_ >= opts_.refine.min_frontier_vertices;
+    use_rows_ = prune_;
+    if (prune_) {
+      active_.assign(local_n, 1);
+    } else {
+      active_.clear();
+    }
+    if (use_rows_) {
+      rows_.assign(local_n, {});
+    } else {
+      rows_.clear();
+    }
   }
 
   [[nodiscard]] weight_t local_strength_sum() const noexcept {
@@ -376,6 +411,9 @@ class RankEngine {
     out_table_.clear();
     sin_acc_.clear();
     sin_acc_.reserve(label_.size() + 1);
+    if (use_rows_) {
+      for (auto& row : rows_) row.clear();
+    }
     in_table_.for_each([&](std::uint64_t key, weight_t w) {
       const vid_t v = key_hi(key);
       const vid_t u = key_lo(key);  // owned
@@ -385,13 +423,24 @@ class RankEngine {
     comm_.drain_streaming_finalized<PropMsg>([&](int /*src*/,
                                                  std::span<const PropMsg> msgs) {
       for (const PropMsg& m : msgs) {
-        out_table_.insert_or_add(pack_key(m.v, m.c), m.w);
-        if (label_[part_.to_local(m.v)] == m.c) sin_acc_.ref(m.c) += m.w;
+        const vid_t lv = part_.to_local(m.v);
+        const bool fresh = out_table_.insert_or_add(pack_key(m.v, m.c), m.w);
+        if (use_rows_) row_insert(lv, m.c, m.w, fresh);
+        if (label_[lv] == m.c) sin_acc_.ref(m.c) += m.w;
       }
     });
     rebuild_sigma_requests();
     iters_since_rebuild_ = 0;
     drift_accum_ = 0.0;
+    // A rebuild re-ships every row, so the pruned frontier's "nothing
+    // changed near me" premise is void: reactivate the whole partition.
+    // (Pinned Session frontiers are exempt — their restriction is the
+    // caller's dirty-region contract, and the level's initial full
+    // propagation must not clobber the seeds.)
+    if (prune_ && !pinned_) {
+      std::fill(active_.begin(), active_.end(), std::uint8_t{1});
+      restricted_ = false;
+    }
   }
 
   /// Incremental maintenance: ships one (retraction, assertion) pair per
@@ -400,6 +449,18 @@ class RankEngine {
   /// dense as a rebuild would). Requires every rank to have taken the
   /// same full-vs-delta decision — see refine().
   void state_propagation_delta() {
+    if (prune_) {
+      // Next iteration's frontier: the vertices that moved this sweep plus
+      // — via the patch drain below — everyone whose neighborhood those
+      // moves changed. The wakeup deliberately rides the existing PropMsg
+      // patch stream instead of a dedicated message kind: a patch to entry
+      // (v, c) *is* the statement "a neighbor of v changed community", so
+      // a separate wakeup channel would duplicate the same (v, source)
+      // pairs byte for byte (DESIGN.md decision 15).
+      restricted_ = true;
+      std::fill(active_.begin(), active_.end(), std::uint8_t{0});
+      for (const Move& mv : moves_) active_[mv.l] = 1;
+    }
     for (const Move& mv : moves_) {
       assert(mv.from < kRetractBit && mv.to < kRetractBit);
       const std::size_t begin = adj_start_[mv.l];
@@ -423,17 +484,22 @@ class RankEngine {
     comm_.drain_streaming_finalized<PropMsg>([&](int /*src*/,
                                                  std::span<const PropMsg> msgs) {
       for (const PropMsg& m : msgs) {
+        const vid_t lv = part_.to_local(m.v);
         // A patched vertex just learned its surroundings changed — that is
         // the disturbed-vertex frontier growing (Lu & Halappanavar's
         // disturbance propagation): it may move from the next sweep on.
-        if (frontier_) active_[part_.to_local(m.v)] = 1;
+        if (restricted_) active_[lv] = 1;
         if ((m.c & kRetractBit) != 0) {
           const vid_t c = m.c & ~kRetractBit;
-          if (out_table_.retract(pack_key(m.v, c), m.w)) ref_sub(c);
-          if (label_[part_.to_local(m.v)] == c) sin_acc_.ref(c) -= m.w;
+          const bool erased = out_table_.retract(pack_key(m.v, c), m.w);
+          if (erased) ref_sub(c);
+          if (use_rows_) row_retract(lv, c, m.w, erased);
+          if (label_[lv] == c) sin_acc_.ref(c) -= m.w;
         } else {
-          if (out_table_.insert_or_add(pack_key(m.v, m.c), m.w)) ref_add(m.c);
-          if (label_[part_.to_local(m.v)] == m.c) sin_acc_.ref(m.c) += m.w;
+          const bool fresh = out_table_.insert_or_add(pack_key(m.v, m.c), m.w);
+          if (fresh) ref_add(m.c);
+          if (use_rows_) row_insert(lv, m.c, m.w, fresh);
+          if (label_[lv] == m.c) sin_acc_.ref(m.c) += m.w;
         }
       }
     });
@@ -459,6 +525,41 @@ class RankEngine {
     std::uint32_t* r = comm_refs_.find(c);
     assert(r != nullptr && *r > 0);
     if (--*r == 0) refs_dirty_.push_back(c);
+  }
+
+  // -- active-scheduling row index ------------------------------------------
+
+  /// Mirrors one Out_Table insert into vertex lv's sorted community row.
+  /// `fresh` is the table's own "new slot" verdict, so row membership can
+  /// never disagree with table membership (the table's contribution count,
+  /// not a weight comparison, decides emptiness).
+  void row_insert(vid_t l, vid_t c, weight_t w, bool fresh) {
+    auto& row = rows_[l];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), c,
+        [](const RowEntry& e, vid_t key) { return e.c < key; });
+    if (fresh) {
+      assert(it == row.end() || it->c != c);
+      row.insert(it, RowEntry{c, w});
+    } else {
+      assert(it != row.end() && it->c == c);
+      it->w += w;
+    }
+  }
+
+  /// Mirrors one Out_Table retraction; `erased` is the table's
+  /// slot-went-empty verdict.
+  void row_retract(vid_t l, vid_t c, weight_t w, bool erased) {
+    auto& row = rows_[l];
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), c,
+        [](const RowEntry& e, vid_t key) { return e.c < key; });
+    assert(it != row.end() && it->c == c);
+    if (erased) {
+      row.erase(it);
+    } else {
+      it->w -= w;
+    }
   }
 
   /// Re-derives comm_refs_ and sigma_reqs_ from the freshly rebuilt
@@ -541,10 +642,35 @@ class RankEngine {
     const auto nranks = static_cast<std::size_t>(comm_.nranks());
     const vid_t local_n = static_cast<vid_t>(label_.size());
 
+    // How many vertices this sweep actually considers for a move — the
+    // scanned-vertices telemetry and the scan-strategy input alike.
+    if (restricted_) {
+      std::uint64_t count = 0;
+      for (std::uint8_t a : active_) count += a;
+      scanned_ = count;
+    } else {
+      scanned_ = static_cast<std::uint64_t>(local_n);
+    }
+    // Scan-strategy choice (active scheduling): when the live frontier is
+    // small enough, walk only the active vertices' community rows; above
+    // the threshold the fused full-table scan (inactive rows skipped) wins
+    // on sequential locality. Both strategies compute identical labels —
+    // the exact comparator below makes the winner independent of candidate
+    // enumeration order — so this is a per-rank-local performance choice.
+    const bool row_scan =
+        use_rows_ && restricted_ &&
+        static_cast<double>(scanned_) <=
+            opts_.refine.frontier_scan_threshold * static_cast<double>(local_n);
+    // Active scheduling implies exact minimum-label tie-breaking: the row
+    // walk and the fused scan enumerate candidates in different orders,
+    // and only an order-independent tie rule keeps them bit-equivalent.
+    const bool exact_ties =
+        opts_.refine.min_label_ties || opts_.refine.active_scheduling;
+
     // σ-independent half of the stay score: w_stay = Out[(u, cu)] − self
     // loop. The σ term is folded in after the replies arrive.
     auto stay_init = [&] {
-      for (vid_t l = 0; l < local_n; ++l) {
+      for (vid_t l = 0; l < local_n; ++l) {  // plv-lint: allow(refine-full-scan) -- best_/gain_ reset must cover every vertex; the frontier skip below prunes the table lookups
         const vid_t cu = label_[l];
         best_[l] = cu;
         gain_[l] = 0.0;
@@ -552,7 +678,7 @@ class RankEngine {
         // move this iteration (their gain stays 0 and update_communities
         // never reads best_score_), so their stay score is never consumed
         // — skip the table lookup.
-        if (frontier_ && active_[l] == 0) {
+        if (restricted_ && active_[l] == 0) {
           stay_score_[l] = 0.0;
           continue;
         }
@@ -620,8 +746,8 @@ class RankEngine {
     // paths: (w_stay) − γ(σ − k)k/2m, left-associated as before). γ is
     // hoisted once for the two hot loops below.
     const double gamma = opts_.resolution;
-    for (vid_t l = 0; l < local_n; ++l) {
-      if (frontier_ && active_[l] == 0) continue;  // stay score unused
+    for (vid_t l = 0; l < local_n; ++l) {  // plv-lint: allow(refine-full-scan) -- O(1)/vertex σ fold; the skip below prunes the lookups
+      if (restricted_ && active_[l] == 0) continue;  // stay score unused
       const SigmaRep* own = sigma_cache_.find(label_[l]);
       assert(own != nullptr);
       stay_score_[l] -= gamma * (own->sigma_tot - strength_[l]) *
@@ -629,6 +755,39 @@ class RankEngine {
     }
     // best_score starts equal to stay_score; track it in gain_ scaled later.
     best_score_ = stay_score_;
+
+    if (row_scan) {
+      // Frontier row walk: only the active vertices are visited — the
+      // whole point of active scheduling — so Σin is NOT re-derived here;
+      // the incremental carry (move-time adjustment + patch-drain deltas)
+      // stays authoritative until the next fused scan or full rebuild.
+      // That is exact in integer/dyadic-weight arithmetic; otherwise the
+      // rebuild cadence bounds the drift, exactly as it does for the
+      // Out_Table weights themselves (DESIGN.md decision 8).
+      for (vid_t l = 0; l < local_n; ++l) {  // plv-lint: allow(refine-full-scan) -- sequential bitmap sweep; the join search runs for active vertices only
+        if (active_[l] == 0) continue;
+        const vid_t cu = label_[l];
+        for (const RowEntry& row : rows_[l]) {
+          const vid_t c = row.c;
+          if (c == cu) continue;
+          const SigmaRep* target = sigma_cache_.find(c);
+          assert(target != nullptr);
+          if (target->members == 1 && sigma_cache_.find(cu)->members == 1 && c > cu) {
+            continue;
+          }
+          const double score =
+              row.w - gamma * target->sigma_tot * strength_[l] / two_m_;
+          // Row mode implies the exact comparator (exact_ties above).
+          if (score > best_score_[l] || (score == best_score_[l] && c < best_[l])) {
+            best_score_[l] = score;
+            best_[l] = c;
+          }
+        }
+        gain_[l] = best_[l] == cu ? 0.0
+                                  : 2.0 * (best_score_[l] - stay_score_[l]) / two_m_;
+      }
+      return;
+    }
 
     // The single fused scan: Σin accumulation (c == cu) + join search
     // (c != cu). Comparing joins by (w_uc − Σtot_c·k_u/2m) is equivalent
@@ -649,7 +808,7 @@ class RankEngine {
       // vertex may not move this iteration, so its join search — the σ
       // lookup and score compare, the scan's dominant cost — is skipped.
       // best_[l] stays at label_[l] from stay_init, so its gain is 0.
-      if (frontier_ && active_[l] == 0) return;
+      if (restricted_ && active_[l] == 0) return;
       const SigmaRep* target = sigma_cache_.find(c);
       assert(target != nullptr);
       // Singleton-swap guard (Lu et al. [11], cited by the paper): when a
@@ -660,8 +819,17 @@ class RankEngine {
       if (target->members == 1 && sigma_cache_.find(cu)->members == 1 && c > cu) return;
       const double score =
           w - gamma * target->sigma_tot * strength_[l] / two_m_;
-      if (score > best_score_[l] + 1e-15 ||
-          (score > best_score_[l] - 1e-15 && c < best_[l])) {
+      // Tie handling: the default comparator prefers the smaller community
+      // id only inside a 1e-15 score band (kept bit-for-bit for the
+      // default configuration); with min-label tie-breaking the rule is
+      // exact, so the chosen target cannot depend on enumeration order
+      // (Lu & Halappanavar's determinism argument).
+      const bool better =
+          exact_ties ? (score > best_score_[l] ||
+                        (score == best_score_[l] && c < best_[l]))
+                     : (score > best_score_[l] + 1e-15 ||
+                        (score > best_score_[l] - 1e-15 && c < best_[l]));
+      if (better) {
         best_score_[l] = score;
         best_[l] = c;
       }
@@ -669,7 +837,7 @@ class RankEngine {
     // Inactive vertices kept best_[l] == label_[l] through the scan, so
     // this leaves their gain at 0 — out of the threshold histogram and
     // the move sweep alike — with no separate masking pass.
-    for (vid_t l = 0; l < local_n; ++l) {
+    for (vid_t l = 0; l < local_n; ++l) {  // plv-lint: allow(refine-full-scan) -- gain finalize is O(1)/vertex with no table access
       gain_[l] =
           best_[l] == label_[l] ? 0.0 : 2.0 * (best_score_[l] - stay_score_[l]) / two_m_;
     }
@@ -735,7 +903,7 @@ class RankEngine {
     moves_.clear();
     if (cutoff >= 0.0) {
       const vid_t local_n = static_cast<vid_t>(label_.size());
-      for (vid_t l = 0; l < local_n; ++l) {
+      for (vid_t l = 0; l < local_n; ++l) {  // plv-lint: allow(refine-full-scan) -- gain_ is dense; pruned vertices hold gain 0 and fall to the first branch
         if (gain_[l] <= 0.0 || gain_[l] < cutoff) continue;
         const vid_t from = label_[l];
         const vid_t to = best_[l];
@@ -833,10 +1001,32 @@ class RankEngine {
 
   // -- REFINE (Algorithm 4) ---------------------------------------------------
 
+  /// Per-level convergence tolerance under threshold scaling: level L
+  /// refines against max(q_tolerance, initial_tolerance / decay^L), so the
+  /// coarse early levels converge in fewer sweeps and the cascade tightens
+  /// geometrically toward the final tolerance (Sahu's threshold scaling).
+  /// With initial_tolerance = 0 (default) this is exactly q_tolerance.
+  [[nodiscard]] double level_tolerance() const {
+    const RefinePlan& plan = opts_.refine;
+    if (!(plan.initial_tolerance > 0.0)) return plan.q_tolerance;
+    const double scaled = plan.initial_tolerance /
+                          std::pow(plan.tolerance_decay, static_cast<double>(level_index_));
+    return std::max(plan.q_tolerance, scaled);
+  }
+
   double refine(LouvainLevel& level, double q_initial) {
     double prev_q = q_initial;
     int stagnant = 0;
     level_moves_ = 0;
+    const double level_tol = level_tolerance();
+    // The same scaled tolerance also floors the histogram cutoff: a move
+    // must clear its per-vertex share of the level tolerance, so
+    // sub-tolerance shuffling can't keep coarse levels iterating. 0 when
+    // scaling is off — the cutoff is then exactly the histogram's.
+    const double gain_floor =
+        opts_.refine.initial_tolerance > 0.0 && n_level_ > 0
+            ? level_tol / static_cast<double>(n_level_)
+            : 0.0;
     // The retraction encoding borrows PropMsg::c's top bit, so the delta
     // path needs community ids below 2^31 — always true for vid_t levels
     // in practice, but guard anyway so correctness never hinges on it.
@@ -844,11 +1034,15 @@ class RankEngine {
     for (int iter = 1; iter <= opts_.max_inner_iterations; ++iter) {
       WallTimer t;
       find_best_community();
+      const std::uint64_t scanned_local = scanned_;
       const double find_s = t.seconds();
       timers_.add(phase::kFindBestCommunity, find_s);
 
       double eps = 1.0;
-      const double cutoff = gain_cutoff(iter, eps);
+      double cutoff = gain_cutoff(iter, eps);
+      // Same allreduced inputs on every rank, so the floored cutoff is
+      // globally consistent; -1 (no mover anywhere) passes through.
+      if (cutoff >= 0.0 && gain_floor > cutoff) cutoff = gain_floor;
 
       t.reset();
       const MoveTally moved = update_communities(cutoff);
@@ -869,20 +1063,23 @@ class RankEngine {
               ? static_cast<double>(moved.delta_records) /
                     static_cast<double>(full_prop_records_)
               : 0.0;
-      // In frontier mode the propagation is forced onto the delta path:
-      // a full rebuild costs O(|In_Table|) — the cold-start term the
-      // dirty-region re-refine exists to avoid — and only the patches
-      // grow the disturbed set. The flag is command-driven (identical on
-      // every rank), so the decision stays globally consistent.
+      // In pinned (Session) frontier mode the propagation is forced onto
+      // the delta path: a full rebuild costs O(|In_Table|) — the
+      // cold-start term the dirty-region re-refine exists to avoid — and
+      // only the patches grow the disturbed set. The flag is
+      // command-driven (identical on every rank), so the decision stays
+      // globally consistent. Active scheduling deliberately keeps cadence
+      // rebuilds live: a rebuild reactivates the whole partition, which is
+      // what bounds both the FP drift and the pruning approximation.
       const bool rebuild_due =
-          !frontier_ &&
+          !pinned_ &&
           ((opts_.full_rebuild_every > 0 &&
             iters_since_rebuild_ + 1 >= opts_.full_rebuild_every) ||
            (opts_.adaptive_rebuild_drift > kAdaptiveRebuildOff &&
             drift_accum_ + churn >= opts_.adaptive_rebuild_drift));
       const bool delta_wins =
           delta_possible &&
-          (frontier_ || moved.delta_records < full_prop_records_);
+          (pinned_ || moved.delta_records < full_prop_records_);
       t.reset();
       const std::uint64_t sent_before = comm_.stats().records_sent;
       if (rebuild_due || !delta_wins) {
@@ -898,26 +1095,46 @@ class RankEngine {
       exchange_sigma_in();
       double q;
       std::uint64_t prop_sent_global;
+      std::uint64_t scanned_global;
       if (opts_.overlap) {
         // One combined reduction closes the iteration: modularity and the
-        // trace's propagation volume share a single collective round. The
-        // q sum visits ranks in ascending order, exactly like
+        // trace's propagation + scan volumes share a single collective
+        // round. The q sum visits ranks in ascending order, exactly like
         // allreduce_sum, so the value is bitwise the phased one.
         struct IterStats {
           double q;
           std::uint64_t prop_sent;
+          std::uint64_t scanned;
         };
         const auto stats = comm_.allreduce(
-            IterStats{local_modularity(), prop_sent},
+            IterStats{local_modularity(), prop_sent, scanned_local},
             [](const IterStats& a, const IterStats& b) {
-              return IterStats{a.q + b.q, a.prop_sent + b.prop_sent};
+              return IterStats{a.q + b.q, a.prop_sent + b.prop_sent,
+                               a.scanned + b.scanned};
             });
         q = stats.q;
         prop_sent_global = stats.prop_sent;
+        scanned_global = stats.scanned;
       } else {
         q = comm_.allreduce_sum(local_modularity());
-        prop_sent_global =
-            opts_.record_trace ? comm_.allreduce_sum(prop_sent) : 0;
+        if (opts_.record_trace) {
+          // Integer-sum reduction of the trace volumes — still one
+          // collective round, matching the overlap path's sums exactly.
+          struct TraceStats {
+            std::uint64_t prop_sent;
+            std::uint64_t scanned;
+          };
+          const auto stats = comm_.allreduce(
+              TraceStats{prop_sent, scanned_local},
+              [](const TraceStats& a, const TraceStats& b) {
+                return TraceStats{a.prop_sent + b.prop_sent, a.scanned + b.scanned};
+              });
+          prop_sent_global = stats.prop_sent;
+          scanned_global = stats.scanned;
+        } else {
+          prop_sent_global = 0;
+          scanned_global = 0;
+        }
       }
 
       if (opts_.record_trace) {
@@ -930,12 +1147,14 @@ class RankEngine {
         level.trace.update_seconds.push_back(update_s);
         level.trace.prop_seconds.push_back(prop_s);
         level.trace.prop_records.push_back(prop_sent_global);
+        level.trace.scanned_vertices.push_back(scanned_global);
       }
 
       // One stagnant iteration can just mean a low-ε round; require a
       // window of them (all ranks see the same global q/moves, so the
-      // decision is uniform).
-      stagnant = q - prev_q < opts_.q_tolerance ? stagnant + 1 : 0;
+      // decision is uniform). Under threshold scaling the window tests the
+      // level's scaled tolerance instead of the final one.
+      stagnant = q - prev_q < level_tol ? stagnant + 1 : 0;
       prev_q = q;  // report the Q of the labels we actually hold
       if (moved.moves == 0 || stagnant >= opts_.stagnation_window) break;
     }
@@ -1005,6 +1224,7 @@ class RankEngine {
     part_ = next_part;
     n_level_ = next_n;
     init_level_state();
+    ++level_index_;  // the next refine round runs one tolerance step tighter
   }
 
   // -- members ---------------------------------------------------------------
@@ -1036,16 +1256,32 @@ class RankEngine {
   int iters_since_rebuild_{0};
   std::uint64_t full_prop_records_{0};
 
-  // Disturbed-vertex frontier (Session incremental applies): while
-  // frontier_ is on, only vertices with a set active_ bit may move, and
-  // the delta-propagation drain sets the bit of every patched vertex.
-  // frontier_was_on_ remembers the request across the level transition
-  // (frontier_ itself is per-level) so run_levels can stop after a no-op
-  // level 0; level_moves_ is that level's global move count.
-  bool frontier_{false};
+  // Shared frontier infrastructure. While restricted_ is on, only vertices
+  // with a set active_ bit may move, and the delta-propagation drain sets
+  // the bit of every patched vertex (the neighbor wakeup). Two producers
+  // feed it: the pinned Session frontier (pinned_; seeded from changed
+  // edges, forces the delta path, level 0 only) and active-vertex
+  // scheduling (prune_; every level, the set re-derives each delta
+  // iteration as movers ∪ patched and a full rebuild reactivates all).
+  // use_rows_ keeps the per-vertex sorted community rows (rows_) mirrored
+  // off the Out_Table so a small frontier can scan rows instead of the
+  // table. frontier_was_on_ remembers a pinned request across the level
+  // transition (the restriction itself is per-level) so run_levels can
+  // stop after a no-op level 0; level_moves_ is that level's global move
+  // count; scanned_ counts the vertices whose join search the last FIND
+  // actually ran.
+  bool pinned_{false};
+  bool restricted_{false};
+  bool prune_{false};
+  bool use_rows_{false};
   bool frontier_was_on_{false};
   std::vector<std::uint8_t> active_;
+  std::vector<std::vector<RowEntry>> rows_;
   std::uint64_t level_moves_{0};
+  std::uint64_t scanned_{0};
+  // Level counter for threshold scaling: 0 on every fresh ingestion,
+  // incremented by each reconstruction.
+  int level_index_{0};
   // Accumulated fractional Out_Table turnover since the last full rebuild
   // (Σ delta_records / full_prop_records); drives the adaptive rebuild
   // trigger. Built from allreduced tallies only, so it is identical on
@@ -1082,6 +1318,97 @@ class RankEngine {
 
   PhaseTimers timers_;
 };
+
+// ---------------------------------------------------------------------------
+// Vertex-following (RefinePlan::vertex_following): fold every vertex with
+// exactly one distinct neighbor onto that neighbor before the fleet runs,
+// then hand it the anchor's final community afterwards. A degree-1 vertex
+// always sits in its unique neighbor's community in an optimal partition
+// (detaching it can only lose its edge's internal weight), so the refine
+// sweeps need never consider it.
+// ---------------------------------------------------------------------------
+
+struct FoldPlan {
+  /// anchor[v] == kInvalidVid when v keeps its place; otherwise v was
+  /// folded and follows anchor[v]'s final community.
+  std::vector<vid_t> anchor;
+  graph::EdgeList edges;  // the folded list the fleet actually runs on
+  bool any{false};
+};
+
+/// Decides the fold in ONE pass over the original degrees — folding is
+/// deliberately not iterated: peeling a path end-to-end would glue whole
+/// chains into one community (a 4-chain's optimum is two pairs, not one
+/// quad). A leaf's edge turns into an anchor self-loop of the same weight,
+/// which preserves every vertex strength, Σin, and 2m, so the folded
+/// graph's modularity equals the original's under the unfolded labels; the
+/// leaf itself survives as an isolated zero-strength singleton no sweep
+/// revisits. Mutual leaf pairs fold the larger id onto the smaller, and an
+/// anchor is never itself folded (a vertex with a folded-away neighbor has
+/// either only that neighbor — the mutual case — or at least two distinct
+/// neighbors), so the unfold is single-step.
+///
+/// A leaf carrying a self-loop is NOT folded. The always-join guarantee
+/// is ΔQ = (w/m)·(1 − Σtot(u)/2m) > 0 for a leaf whose strength is its
+/// one edge; a self-loop inflates the leaf's strength (the Σtot penalty
+/// of joining) while the attachment gain stays w, so staying singleton
+/// can be optimal — e.g. a self-looped pendant on a tight cycle.
+FoldPlan plan_vertex_following(const graph::EdgeList& edges, vid_t n) {
+  FoldPlan plan;
+  plan.anchor.assign(n, kInvalidVid);
+  std::vector<vid_t> nbr(n, kInvalidVid);
+  std::vector<std::uint8_t> multi(n, 0);
+  std::vector<std::uint8_t> loop(n, 0);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) {  // a self-loop is not a neighbor, but bars folding
+      loop[e.u] = 1;
+      continue;
+    }
+    const auto touch = [&](vid_t a, vid_t b) {
+      if (nbr[a] == kInvalidVid) {
+        nbr[a] = b;
+      } else if (nbr[a] != b) {
+        multi[a] = 1;
+      }
+    };
+    touch(e.u, e.v);
+    touch(e.v, e.u);
+  }
+  for (vid_t v = 0; v < n; ++v) {
+    if (nbr[v] == kInvalidVid || multi[v] != 0 || loop[v] != 0) continue;
+    const vid_t u = nbr[v];
+    const bool mutual = nbr[u] == v && multi[u] == 0 && loop[u] == 0;
+    if (mutual && v < u) continue;  // the smaller id of a leaf pair anchors
+    plan.anchor[v] = u;
+    plan.any = true;
+  }
+  if (!plan.any) return plan;
+  for (const Edge& e : edges) {
+    const vid_t u = plan.anchor[e.u] != kInvalidVid ? plan.anchor[e.u] : e.u;
+    const vid_t v = plan.anchor[e.v] != kInvalidVid ? plan.anchor[e.v] : e.v;
+    plan.edges.add(u, v, e.w);
+  }
+  return plan;
+}
+
+/// Rewrites the fleet's result for the original graph: every folded vertex
+/// takes its anchor's community in the final labels and in the level-0
+/// label vector. The folded singletons' ghost communities become empty;
+/// their dense ids stay in the id space (num_communities is the id-space
+/// size, so the labels < num_communities invariant holds) and
+/// Hierarchy::tree drops the now-empty nodes. The reported modularity
+/// needs no correction — the fold preserves it exactly (see
+/// plan_vertex_following).
+void unfold_vertex_following(const FoldPlan& plan, ParResult& result) {
+  if (!plan.any || result.levels.empty()) return;
+  auto& l0 = result.levels.front();
+  for (vid_t v = 0; v < static_cast<vid_t>(plan.anchor.size()); ++v) {
+    const vid_t a = plan.anchor[v];
+    if (a == kInvalidVid) continue;
+    result.final_labels[v] = result.final_labels[a];
+    l0.labels[v] = l0.labels[a];
+  }
+}
 
 /// Shared post-ingestion driver: runs the level loop on an initialized
 /// engine and assembles the (rank-identical) result.
@@ -1181,11 +1508,23 @@ static ParResult parallel_impl(const graph::EdgeList& edges, vid_t n_vertices,
   const pml::TransportKind kind = pml::resolve_transport(opts.transport);
   ParResult result;
   result.transport = pml::transport_kind_name(kind);
+  // Vertex-following is a whole-graph preprocessing pass, so it lives on
+  // the launch side: the fleet runs the folded list (against the original
+  // vertex count — folded vertices stay as isolated singletons, keeping
+  // ids and ownership stable) and the unfold rewrites the result after
+  // the ranks have joined.
+  const vid_t n = std::max(n_vertices, edges.vertex_count());
+  FoldPlan fold;
+  const graph::EdgeList* run_edges = &edges;
+  if (opts.refine.vertex_following && n > 0) {
+    fold = plan_vertex_following(edges, n);
+    if (fold.any) run_edges = &fold.edges;
+  }
   std::mutex result_mutex;
   pml::Runtime::run(
       opts.nranks,
       [&](pml::Comm& comm) {
-        ParResult local = louvain_rank(comm, edges, n_vertices, opts);
+        ParResult local = louvain_rank(comm, *run_edges, n, opts);
         if (comm.rank() == 0) {
           std::scoped_lock lock(result_mutex);
           result = std::move(local);
@@ -1193,6 +1532,7 @@ static ParResult parallel_impl(const graph::EdgeList& edges, vid_t n_vertices,
       },
       kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
       opts.hybrid_options());
+  unfold_vertex_following(fold, result);
   return result;
 }
 
@@ -1208,14 +1548,29 @@ static ParResult warm_impl(const graph::EdgeList& edges, vid_t n_vertices,
   // Seeds taken before an EdgeDelta stay usable after it: vertices the
   // seed does not cover and labels referencing vanished vertices become
   // singletons instead of rejecting the whole seed.
-  const std::vector<vid_t> labels = normalize_warm_labels(initial_labels, n);
+  std::vector<vid_t> labels = normalize_warm_labels(initial_labels, n);
+  FoldPlan fold;
+  const graph::EdgeList* run_edges = &edges;
+  if (opts.refine.vertex_following) {
+    fold = plan_vertex_following(edges, n);
+    if (fold.any) {
+      run_edges = &fold.edges;
+      // A folded vertex is an isolated ghost inside the fleet; seeding it
+      // into a real community would inflate that community's member count
+      // (which the singleton-swap guard consults), so its warm label
+      // resets to self. The unfold reattaches it regardless of the seed.
+      for (vid_t v = 0; v < n; ++v) {
+        if (fold.anchor[v] != kInvalidVid) labels[v] = v;
+      }
+    }
+  }
   std::mutex result_mutex;
   pml::Runtime::run(
       opts.nranks,
       [&](pml::Comm& comm) {
         WallTimer busy;
         RankEngine engine(comm, opts);
-        engine.init_from_edges(edges, n);
+        engine.init_from_edges(*run_edges, n);
         engine.warm_start(labels);
         ParResult local = run_levels(comm, engine, n, opts, busy);
         if (comm.rank() == 0) {
@@ -1225,6 +1580,7 @@ static ParResult warm_impl(const graph::EdgeList& edges, vid_t n_vertices,
       },
       kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
       opts.hybrid_options());
+  unfold_vertex_following(fold, result);
   return result;
 }
 
@@ -1254,6 +1610,7 @@ static ParResult streamed_impl(const EdgeSliceFn& slice_of, vid_t n_vertices,
   return result;
 }
 
+#if defined(PLV_COMPAT)
 ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
                            const ParOptions& opts) {
   return parallel_impl(edges, n_vertices, opts);
@@ -1269,6 +1626,7 @@ ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of, vid_t n_vertice
                                     const ParOptions& opts) {
   return streamed_impl(slice_of, n_vertices, opts);
 }
+#endif  // PLV_COMPAT
 
 // ---------------------------------------------------------------------------
 // The resident fleet body behind plv::Session (core/session.hpp). Every

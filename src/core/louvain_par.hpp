@@ -35,6 +35,7 @@ namespace plv::core {
 /// core-level name working.)
 using ParResult = plv::Result;
 
+#if defined(PLV_COMPAT)
 /// Runs the parallel algorithm over `edges` on `opts.nranks` ranks,
 /// returning per-level partitions, modularity, traces, phase timers
 /// (Fig. 8 names) and traffic counters. The rank substrate is
@@ -43,13 +44,15 @@ using ParResult = plv::Result;
 /// edge list. Deterministic for fixed options and input, on every
 /// transport.
 ///
-/// Deprecated: the GraphSource front door covers this and the other two
-/// ingestion modes behind one entry point, and is where new capabilities
-/// (EdgeDelta composition, Session residency) land.
+/// Compat-only (configure with -DPLV_COMPAT=ON): the GraphSource front
+/// door covers this and the other two ingestion modes behind one entry
+/// point, and is where new capabilities (EdgeDelta composition, Session
+/// residency, vertex-following) land.
 [[deprecated(
     "call plv::louvain(plv::GraphSource::from_edges(edges, n), opts) instead")]]
 [[nodiscard]] ParResult louvain_parallel(const graph::EdgeList& edges, vid_t n_vertices,
                                          const ParOptions& opts);
+#endif  // PLV_COMPAT
 
 /// SPMD entry point: the body of one rank, running against an existing
 /// communicator (exposed so tests can drive the engine inside their own
@@ -68,20 +71,23 @@ using ParResult = plv::Result;
 /// door; aliased here for existing call sites).
 using EdgeSliceFn = plv::EdgeSliceFn;
 
+#if defined(PLV_COMPAT)
 /// Distributed ingestion: no rank ever sees the whole edge list. Each
 /// rank generates its slice and streams the In_Table entries to the edge
 /// endpoints' owners through the coalescing aggregators — the way the
 /// paper's largest runs feed 138 G-edge R-MAT/BTER streams. Produces
-/// bit-identical results to louvain_parallel() on the concatenated
-/// slices (verified by tests/streamed_ingest_test).
+/// bit-identical results to a from_edges run on the concatenated slices
+/// (verified by tests/streamed_ingest_test).
 ///
-/// Deprecated in favor of the GraphSource front door.
+/// Compat-only (-DPLV_COMPAT=ON), superseded by the GraphSource front door.
 [[deprecated(
     "call plv::louvain(plv::GraphSource::from_stream(slice_of, n), opts) instead")]]
 [[nodiscard]] ParResult louvain_parallel_streamed(const EdgeSliceFn& slice_of,
                                                   vid_t n_vertices,
                                                   const ParOptions& opts);
+#endif  // PLV_COMPAT
 
+#if defined(PLV_COMPAT)
 /// Warm start — the payoff of the dual-hash dynamic-graph design the
 /// paper advertises (Sections I-B, VII): when the graph evolves (edges
 /// added/removed), restart refinement from the previous run's partition
@@ -104,5 +110,6 @@ using EdgeSliceFn = plv::EdgeSliceFn;
                                               vid_t n_vertices,
                                               const std::vector<vid_t>& initial_labels,
                                               const ParOptions& opts);
+#endif  // PLV_COMPAT
 
 }  // namespace plv::core

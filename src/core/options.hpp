@@ -152,6 +152,80 @@ struct RefinePlan {
   // values favor more, smaller communities.
   double resolution{1.0};
 
+  // --- Convergence heuristics beyond Eq. 7 (DESIGN.md decision 15). All
+  // default off; with every knob at its default the engine is bit-identical
+  // to the pre-heuristic baseline on all transports and maintenance paths.
+
+  // Active-vertex scheduling (Sahu's unchanged-vertex pruning): after the
+  // first delta propagation of a level, only vertices that moved last
+  // iteration or absorbed a retraction/assertion patch (i.e. a neighbor's
+  // community changed — the wakeup rides the existing PropMsg stream) are
+  // rescanned by FIND; everyone else keeps gain 0 and cannot move. A full
+  // cadence/traffic rebuild reactivates the whole partition, so the
+  // incremental-vs-rebuilt exactness story is unchanged. Implies
+  // min-label tie-breaking (the frontier scan order must not affect ties).
+  bool active_scheduling{false};
+
+  // Scan-strategy switch for active scheduling: when the live frontier is
+  // at most this fraction of the local partition, FIND walks the per-vertex
+  // community rows of the active vertices only; above it, the fused full
+  // Out_Table scan (with inactive vertices skipped) is cheaper. 0 = always
+  // fused, 1 = always rows. Both strategies produce identical labels (the
+  // equivalence suite pins threshold 0 vs 1), so this is purely a
+  // performance dial.
+  double frontier_scan_threshold{0.25};
+
+  // Levels smaller than this refine unrestricted even under active
+  // scheduling. Restricting moves to the frontier admits fewer movers per
+  // round, stretching convergence across more iterations — worth it while
+  // the FIND scan dominates, a net loss once the level graph is small
+  // enough that per-iteration collective rounds dominate and scanning
+  // everything is effectively free. 0 = prune every level.
+  vid_t min_frontier_vertices{1024};
+
+  // Minimum-label tie-breaking (Lu & Halappanavar): equal-gain candidates
+  // resolve to the smallest community id under *exact* comparison, making
+  // the chosen target independent of candidate enumeration order. The
+  // default comparator prefers smaller ids only within a 1e-15 score band
+  // (kept for bit-compat); this makes the tie rule exact.
+  bool min_label_ties{false};
+
+  // Vertex-following (Lu & Halappanavar): before the level-0 refine, fold
+  // each vertex with exactly one distinct neighbor onto that neighbor
+  // (its edge becomes an anchor self-loop, so modularity is unchanged),
+  // and unfold at the end by assigning it the anchor's final community.
+  // Degree-1 vertices always join their unique neighbor in an optimal
+  // partition, so this removes them from every refine sweep. Applied on
+  // the cold and warm one-shot paths; streamed ingestion and Session
+  // applies skip it (the fold is a whole-graph preprocessing pass).
+  bool vertex_following{false};
+
+  // Threshold scaling (Sahu): level L refines against tolerance
+  // max(q_tolerance, initial_tolerance / tolerance_decay^L) — coarse early
+  // levels converge in fewer sweeps, and the cascade tightens geometrically
+  // toward the final q_tolerance. The same per-level tolerance also floors
+  // the histogram gain cutoff at tolerance / n_level, so sub-tolerance
+  // shuffling doesn't keep iterations alive. 0 = off (every level uses
+  // q_tolerance directly).
+  double initial_tolerance{0.0};
+  double tolerance_decay{10.0};
+
+  /// Preset: every convergence heuristic on — the configuration the
+  /// BM_FrontierAB bench and the quality-parity suite exercise. The
+  /// 1e-3 starting tolerance is deliberate: 1e-2 converges fastest but
+  /// costs ~0.02 modularity on the LFR reference inputs, while 1e-3
+  /// combined with active scheduling matches (slightly beats) the
+  /// stock-default quality at a fraction of the scan volume.
+  [[nodiscard]] static RefinePlan heuristics() {
+    RefinePlan plan;
+    plan.active_scheduling = true;
+    plan.min_label_ties = true;
+    plan.vertex_following = true;
+    plan.initial_tolerance = 1e-3;
+    plan.tolerance_decay = 10.0;
+    return plan;
+  }
+
   /// Preset: bit-reproducible across maintenance paths — the Out_Table is
   /// rebuilt every iteration (no incremental drift even on irrational
   /// weights) and the churn trigger is off. The slowest, most auditable
@@ -435,6 +509,22 @@ struct ParOptions {
     }
     if (!(resolution > 0.0) || !std::isfinite(resolution)) {
       fail("resolution must be a positive finite value, got " + std::to_string(resolution));
+    }
+    // Negated comparisons so NaN fails the range checks.
+    if (!(refine.frontier_scan_threshold >= 0.0) ||
+        !(refine.frontier_scan_threshold <= 1.0)) {
+      fail("frontier_scan_threshold must be in [0, 1], got " +
+           std::to_string(refine.frontier_scan_threshold) +
+           " (0 = always the fused scan, 1 = always the row scan)");
+    }
+    if (!(refine.initial_tolerance >= 0.0) || !std::isfinite(refine.initial_tolerance)) {
+      fail("initial_tolerance must be >= 0 and finite, got " +
+           std::to_string(refine.initial_tolerance) + " (0 disables threshold scaling)");
+    }
+    if (refine.initial_tolerance > 0.0 && !(refine.tolerance_decay > 1.0)) {
+      fail("tolerance_decay must be > 1 when threshold scaling is on, got " +
+           std::to_string(refine.tolerance_decay) +
+           " (each level divides the tolerance by this factor)");
     }
     if (transport != pml::TransportKind::kThread &&
         transport != pml::TransportKind::kProc &&

@@ -127,6 +127,61 @@ TEST(OptionsValidate, RejectsNonFiniteResolution) {
   expect_rejected(opts, "resolution");
 }
 
+TEST(OptionsValidate, RejectsOutOfRangeFrontierScanThreshold) {
+  ParOptions opts;
+  opts.refine.frontier_scan_threshold = -0.1;
+  expect_rejected(opts, "frontier_scan_threshold");
+  opts.refine.frontier_scan_threshold = 1.5;
+  expect_rejected(opts, "frontier_scan_threshold");
+  opts.refine.frontier_scan_threshold = std::nan("");
+  expect_rejected(opts, "frontier_scan_threshold");
+  // Both extremes are meaningful (0 = always fused, 1 = always row scan).
+  opts.refine.frontier_scan_threshold = 0.0;
+  EXPECT_NO_THROW(opts.validate());
+  opts.refine.frontier_scan_threshold = 1.0;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsValidate, RejectsBadThresholdScaling) {
+  ParOptions opts;
+  opts.refine.initial_tolerance = -1e-3;
+  expect_rejected(opts, "initial_tolerance");
+  opts.refine.initial_tolerance = std::numeric_limits<double>::infinity();
+  expect_rejected(opts, "initial_tolerance");
+  opts.refine.initial_tolerance = std::nan("");
+  expect_rejected(opts, "initial_tolerance");
+  // Scaling on requires a genuinely tightening cascade: decay must
+  // exceed 1 or every level would see the same (or a looser) tolerance.
+  opts.refine.initial_tolerance = 1e-2;
+  opts.refine.tolerance_decay = 1.0;
+  expect_rejected(opts, "tolerance_decay");
+  opts.refine.tolerance_decay = std::nan("");
+  expect_rejected(opts, "tolerance_decay");
+  opts.refine.tolerance_decay = 10.0;
+  EXPECT_NO_THROW(opts.validate());
+  // Scaling off (0) ignores the decay entirely.
+  opts.refine.initial_tolerance = 0.0;
+  opts.refine.tolerance_decay = 0.5;
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(OptionsPlans, HeuristicsPresetValidatesAndPinsItsContract) {
+  ParOptions opts;
+  opts.refine = RefinePlan::heuristics();
+  EXPECT_NO_THROW(opts.validate());
+  EXPECT_TRUE(opts.refine.active_scheduling);
+  EXPECT_TRUE(opts.refine.min_label_ties);
+  EXPECT_TRUE(opts.refine.vertex_following);
+  EXPECT_GT(opts.refine.initial_tolerance, 0.0);
+  EXPECT_GT(opts.refine.tolerance_decay, 1.0);
+  // The stock default keeps every heuristic off — the PR 8 behavior.
+  const RefinePlan stock;
+  EXPECT_FALSE(stock.active_scheduling);
+  EXPECT_FALSE(stock.min_label_ties);
+  EXPECT_FALSE(stock.vertex_following);
+  EXPECT_EQ(stock.initial_tolerance, 0.0);
+}
+
 TEST(OptionsValidate, RejectsCorruptedTransportEnum) {
   ParOptions opts;
   opts.transport = static_cast<pml::TransportKind>(42);

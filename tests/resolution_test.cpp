@@ -80,6 +80,43 @@ TEST(Resolution, ReportedQMatchesRecomputationAtGamma) {
   }
 }
 
+// γ must reach the streamed-ingestion path too: a from_stream run over
+// round-robin slices is the same graph through a different front door,
+// so its γ-generalized gains — and therefore its labels and reported Q —
+// must exactly match the materialized from_edges run at the same γ.
+TEST(Resolution, StreamedIngestionHonorsGamma) {
+  const auto g = gen::lfr({.n = 1000, .mu = 0.25, .seed = 86});
+  const EdgeSliceFn slice = [&](int rank, int nranks) {
+    graph::EdgeList s;
+    for (std::size_t i = static_cast<std::size_t>(rank); i < g.edges.size();
+         i += static_cast<std::size_t>(nranks)) {
+      s.add(g.edges.edges()[i].u, g.edges.edges()[i].v, g.edges.edges()[i].w);
+    }
+    return s;
+  };
+  for (double gamma : {0.5, 4.0}) {
+    core::ParOptions opts;
+    opts.nranks = 4;
+    opts.resolution = gamma;
+    const auto streamed = plv::louvain(GraphSource::from_stream(slice, 1000), opts);
+    const auto cold = plv::louvain(GraphSource::from_edges(g.edges, 1000), opts);
+    EXPECT_EQ(streamed.final_labels, cold.final_labels) << "gamma " << gamma;
+    EXPECT_EQ(streamed.final_modularity, cold.final_modularity) << "gamma " << gamma;
+    const auto csr = graph::Csr::from_edges(g.edges, 1000);
+    EXPECT_NEAR(streamed.final_modularity,
+                metrics::modularity(csr, streamed.final_labels, gamma), 1e-9);
+  }
+  // The γ extremes must actually bite through the streamed door too.
+  core::ParOptions lo_opts, hi_opts;
+  lo_opts.nranks = hi_opts.nranks = 4;
+  lo_opts.resolution = 0.5;
+  hi_opts.resolution = 4.0;
+  const auto lo = plv::louvain(GraphSource::from_stream(slice, 1000), lo_opts);
+  const auto hi = plv::louvain(GraphSource::from_stream(slice, 1000), hi_opts);
+  EXPECT_LT(metrics::count_communities(lo.final_labels),
+            metrics::count_communities(hi.final_labels));
+}
+
 TEST(Resolution, TinyGammaMergesEverythingConnected) {
   const auto g = gen::planted_partition(
       {.communities = 4, .community_size = 16, .p_intra = 0.5, .p_inter = 0.05, .seed = 85});

@@ -47,6 +47,18 @@ generic C++ hygiene; this script enforces the invariants that are about
       pattern and need no exemption; deliberate-violation tests carry
       allow markers.
 
+  refine-full-scan
+      The refine inner loops in src/core/louvain_par.cpp are frontier-
+      driven: with active-vertex scheduling on, FIND must walk only the
+      awake vertices, so a `for (vid_t l = 0; l < local_n; ...)` sweep in
+      that translation unit is a full-partition scan in a hot path — the
+      exact pattern the frontier exists to kill. The handful of sanctioned
+      sweeps (per-level setup that runs once, the sequential bitmap walk
+      that IS the frontier iterator, the gain finalize of the fused scan)
+      carry `plv-lint: allow(refine-full-scan)` markers explaining why
+      each is not a per-iteration full scan; any new unmarked sweep must
+      either iterate the frontier or justify itself with a marker.
+
   rank-entry-ban
       core::louvain_rank is the per-rank engine body — a test seam for
       driving one rank inside a harness-owned fleet, not an entry point.
@@ -84,6 +96,10 @@ AGG_DIRS = ("src", "tests", "bench", "examples")
 # unit and header hold the definition/declaration.
 RANK_ENTRY_DIRS = ("src", "bench", "examples")
 RANK_ENTRY_EXEMPT = ("src/core/louvain_par.cpp", "src/core/louvain_par.hpp")
+# Full-partition sweeps are banned only in the refine engine's own TU —
+# that is where the frontier lives and where an unmarked `< local_n` loop
+# means a hot path silently scanning every vertex per iteration.
+REFINE_SCAN_FILES = ("src/core/louvain_par.cpp",)
 
 CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
 
@@ -104,6 +120,10 @@ LEADER_CALL_RE = re.compile(r"(?:\.|->)\s*leader_alltoallv\s*\(")
 GROUP_CALL_RE = re.compile(r"(?:\.|->)\s*group_alltoallv\s*\(")
 IS_LEADER_RE = re.compile(r"\bis_leader\b")
 RANK_ENTRY_RE = re.compile(r"\blouvain_rank\s*\(")
+# A for loop whose bound is the local partition size: `for (vid_t l = 0;
+# l < local_n; ...)` and spacing/name variants. The bound name is what
+# makes it a full-partition sweep; the induction variable is free.
+REFINE_SCAN_RE = re.compile(r"\bfor\s*\(\s*vid_t\s+\w+\s*=\s*0\s*;\s*\w+\s*<\s*local_n\b")
 # How far above a leader_alltoallv call the is_leader guard may sit. The
 # real call site (Comm::hier_alltoallv's cross phase) stages the leader
 # blobs between the branch and the call, so the window is generous; it
@@ -213,6 +233,7 @@ class Linter:
         in_map_ban = rel.startswith(MAP_BAN_DIRS)
         in_chunk = rel.startswith(CHUNK_DIRS) and rel not in CHUNK_EXEMPT
         in_rank_entry = rel.startswith(RANK_ENTRY_DIRS) and rel not in RANK_ENTRY_EXEMPT
+        in_refine_scan = rel in REFINE_SCAN_FILES
 
         for idx, code_line in enumerate(code_lines):
             raw_line = raw_lines[idx] if idx < len(raw_lines) else ""
@@ -238,6 +259,15 @@ class Linter:
                         "plv::louvain / GraphSource (or plv::Session) — the "
                         "front door owns validation, fleet spawning, and "
                         "result assembly",
+                    )
+            if in_refine_scan and REFINE_SCAN_RE.search(code_line):
+                if not allowed(raw_line, "refine-full-scan"):
+                    self.report(
+                        path, idx + 1, "refine-full-scan",
+                        "full-partition vertex sweep in the refine engine; "
+                        "iterate the active frontier instead, or mark a "
+                        "sanctioned once-per-level sweep with "
+                        "plv-lint: allow(refine-full-scan)",
                     )
 
         # aggregator-final-drain: nearest preceding flush call before every
