@@ -1,0 +1,34 @@
+#pragma once
+
+// MT-safe errno rendering.  std::strerror writes into a shared static
+// buffer (clang-tidy: concurrency-mt-unsafe); the transports report
+// syscall failures from worker threads and forked children, so every
+// errno-to-text conversion goes through errno_str(), which renders into
+// a caller-local buffer via strerror_r.
+
+#include <cstring>
+#include <string>
+
+namespace plv {
+namespace detail {
+
+// strerror_r has two incompatible signatures: XSI returns int and fills
+// the buffer; GNU (glibc with _GNU_SOURCE, the default under g++/clang++
+// on Linux) returns the message pointer and may ignore the buffer.  The
+// overload set picks the right decoding at compile time.
+inline const char* strerror_decode(int rc, const char* buf) {  // XSI
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* strerror_decode(const char* msg, const char*) {  // GNU
+  return msg != nullptr ? msg : "unknown error";
+}
+
+}  // namespace detail
+
+inline std::string errno_str(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return detail::strerror_decode(::strerror_r(err, buf, sizeof buf), buf);
+}
+
+}  // namespace plv

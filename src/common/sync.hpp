@@ -1,0 +1,115 @@
+// Annotated synchronization primitives for Clang Thread Safety Analysis.
+//
+// Every lock in the repo goes through these wrappers so that Clang's
+// -Wthread-safety can prove the locking discipline at compile time:
+// which fields a mutex guards (PLV_GUARDED_BY), which functions demand a
+// held lock (PLV_REQUIRES), and where capabilities are acquired/released
+// (PLV_ACQUIRE / PLV_RELEASE, or the scoped plv::MutexLock). On GCC the
+// attribute macros expand to nothing and the wrappers are zero-overhead
+// forwarding shims over the std primitives, so the annotations cost
+// nothing where the analysis is unavailable.
+//
+// Conventions enforced elsewhere:
+//   - tools/lint/plv_lint.py `raw-mutex-ban`: declaring std::mutex /
+//     std::condition_variable outside this header is a lint error.
+//   - tests/static_contract_test.cmake: negative-compile snippets prove
+//     that violations of these annotations are rejected under Clang.
+//
+// CondVar waits are written as explicit while-loops at the call site
+// (`while (!ready) cv.wait(mu);`) rather than predicate lambdas: the
+// analysis is intra-procedural and does not carry the held-lock set into
+// a lambda body, so a predicate reading guarded state would be flagged as
+// an unguarded access even though the wait contract holds the lock.
+// The while-loop form keeps the guarded reads in the annotated function
+// body where the analysis can see the capability.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define PLV_TSA_ATTR(x) __attribute__((x))
+#else
+#define PLV_TSA_ATTR(x)  // no-op outside Clang
+#endif
+
+#define PLV_CAPABILITY(x) PLV_TSA_ATTR(capability(x))
+#define PLV_SCOPED_CAPABILITY PLV_TSA_ATTR(scoped_lockable)
+#define PLV_GUARDED_BY(x) PLV_TSA_ATTR(guarded_by(x))
+#define PLV_PT_GUARDED_BY(x) PLV_TSA_ATTR(pt_guarded_by(x))
+#define PLV_REQUIRES(...) PLV_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define PLV_ACQUIRE(...) PLV_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define PLV_RELEASE(...) PLV_TSA_ATTR(release_capability(__VA_ARGS__))
+#define PLV_TRY_ACQUIRE(...) PLV_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define PLV_EXCLUDES(...) PLV_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define PLV_ASSERT_CAPABILITY(x) PLV_TSA_ATTR(assert_capability(x))
+#define PLV_RETURN_CAPABILITY(x) PLV_TSA_ATTR(lock_returned(x))
+#define PLV_NO_THREAD_SAFETY_ANALYSIS PLV_TSA_ATTR(no_thread_safety_analysis)
+
+namespace plv {
+
+class CondVar;
+
+// Annotated std::mutex. Prefer the scoped plv::MutexLock over manual
+// lock()/unlock() pairs; the manual form exists for adoption patterns.
+class PLV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PLV_ACQUIRE() { mu_.lock(); }
+  void unlock() PLV_RELEASE() { mu_.unlock(); }
+  bool try_lock() PLV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII scoped lock over plv::Mutex (the annotated std::scoped_lock).
+class PLV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PLV_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PLV_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to plv::Mutex. wait() demands the capability:
+// the caller holds `mu` (typically via MutexLock), wait() releases it
+// while parked and re-acquires before returning, so from the analysis'
+// point of view the lock is held continuously across the call. Callers
+// loop on their guarded predicate around wait() — see the header comment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) PLV_REQUIRES(mu) {
+    // Adopt the already-held mutex for the std wait protocol, then
+    // release() so the unique_lock destructor leaves it held for the
+    // caller, matching the REQUIRES contract.
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    // The spurious-wakeup loop lives at the call site (the repo-wide
+    // `while (!pred) cv.wait(mu);` convention) so the predicate read
+    // stays inside the caller's annotated critical section; this
+    // wrapper is a single un-looped wait by design.
+    // NOLINTNEXTLINE(bugprone-spuriously-wake-up-functions)
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace plv

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/sync.hpp"
 #include "graph/csr.hpp"
 #include "graph/partition.hpp"
 #include "pml/aggregator.hpp"
@@ -107,21 +108,26 @@ BfsResult bfs_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t roo
                        const ParOptions& opts) {
   opts.validate();
   const vid_t n = std::max(n_vertices, edges.vertex_count());
-  BfsResult result;
-  if (n == 0 || root >= n) return result;
-  std::mutex mutex;
+  if (n == 0 || root >= n) return BfsResult{};
+  // Rank 0's hand-off to the launching thread, named as a capability (the
+  // join in Runtime::run already orders it).
+  struct {
+    plv::Mutex mu;
+    BfsResult value PLV_GUARDED_BY(mu);
+  } result;
   pml::Runtime::run(
       opts.nranks,
       [&](pml::Comm& comm) {
         BfsResult local = bfs_rank(comm, edges, n, root, opts);
         if (comm.rank() == 0) {
-          std::scoped_lock lock(mutex);
-          result = std::move(local);
+          plv::MutexLock lock(result.mu);
+          result.value = std::move(local);
         }
       },
       pml::resolve_transport(opts.transport),
       pml::resolve_validate(opts.validate_transport), opts.tcp_options());
-  return result;
+  plv::MutexLock lock(result.mu);
+  return std::move(result.value);
 }
 
 BfsResult bfs_seq(const graph::EdgeList& edges, vid_t n_vertices, vid_t root) {

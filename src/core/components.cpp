@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "common/sync.hpp"
 #include "graph/partition.hpp"
 #include "hashing/edge_table.hpp"
 #include "pml/aggregator.hpp"
@@ -91,21 +92,24 @@ ComponentsResult connected_components_parallel(const graph::EdgeList& edges,
                                                vid_t n_vertices, const ParOptions& opts) {
   opts.validate();
   const vid_t n = std::max(n_vertices, edges.vertex_count());
-  ComponentsResult result;
-  if (n == 0) return result;
-  std::mutex mutex;
+  if (n == 0) return ComponentsResult{};
+  struct {
+    plv::Mutex mu;
+    ComponentsResult value PLV_GUARDED_BY(mu);
+  } result;
   pml::Runtime::run(
       opts.nranks,
       [&](pml::Comm& comm) {
         ComponentsResult local = components_rank(comm, edges, n, opts);
         if (comm.rank() == 0) {
-          std::scoped_lock lock(mutex);
-          result = std::move(local);
+          plv::MutexLock lock(result.mu);
+          result.value = std::move(local);
         }
       },
       pml::resolve_transport(opts.transport),
       pml::resolve_validate(opts.validate_transport), opts.tcp_options());
-  return result;
+  plv::MutexLock lock(result.mu);
+  return std::move(result.value);
 }
 
 ComponentsResult connected_components_seq(const graph::EdgeList& edges, vid_t n_vertices) {

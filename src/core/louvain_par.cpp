@@ -9,6 +9,7 @@
 
 #include "common/flat_map.hpp"
 #include "common/histogram.hpp"
+#include "common/sync.hpp"
 #include "common/timer.hpp"
 #include "core/session.hpp"
 #include "hashing/edge_table.hpp"
@@ -1506,8 +1507,17 @@ static ParResult parallel_impl(const graph::EdgeList& edges, vid_t n_vertices,
                                const ParOptions& opts) {
   opts.validate();
   const pml::TransportKind kind = pml::resolve_transport(opts.transport);
-  ParResult result;
-  result.transport = pml::transport_kind_name(kind);
+  // Rank 0 (a fleet thread under the thread transport) hands its result
+  // across to the launching thread; the guarded slot names that edge even
+  // though Runtime::run's join already orders it.
+  struct {
+    plv::Mutex mu;
+    ParResult value PLV_GUARDED_BY(mu);
+  } result;
+  {
+    plv::MutexLock lock(result.mu);
+    result.value.transport = pml::transport_kind_name(kind);
+  }
   // Vertex-following is a whole-graph preprocessing pass, so it lives on
   // the launch side: the fleet runs the folded list (against the original
   // vertex count — folded vertices stay as isolated singletons, keeping
@@ -1520,20 +1530,20 @@ static ParResult parallel_impl(const graph::EdgeList& edges, vid_t n_vertices,
     fold = plan_vertex_following(edges, n);
     if (fold.any) run_edges = &fold.edges;
   }
-  std::mutex result_mutex;
   pml::Runtime::run(
       opts.nranks,
       [&](pml::Comm& comm) {
         ParResult local = louvain_rank(comm, *run_edges, n, opts);
         if (comm.rank() == 0) {
-          std::scoped_lock lock(result_mutex);
-          result = std::move(local);
+          plv::MutexLock lock(result.mu);
+          result.value = std::move(local);
         }
       },
       kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
       opts.hybrid_options());
-  unfold_vertex_following(fold, result);
-  return result;
+  plv::MutexLock lock(result.mu);
+  unfold_vertex_following(fold, result.value);
+  return std::move(result.value);
 }
 
 static ParResult warm_impl(const graph::EdgeList& edges, vid_t n_vertices,
@@ -1542,9 +1552,15 @@ static ParResult warm_impl(const graph::EdgeList& edges, vid_t n_vertices,
   opts.validate();
   const pml::TransportKind kind = pml::resolve_transport(opts.transport);
   const vid_t n = std::max(n_vertices, edges.vertex_count());
-  ParResult result;
-  result.transport = pml::transport_kind_name(kind);
-  if (n == 0) return result;
+  struct {
+    plv::Mutex mu;
+    ParResult value PLV_GUARDED_BY(mu);
+  } result;
+  {
+    plv::MutexLock lock(result.mu);
+    result.value.transport = pml::transport_kind_name(kind);
+    if (n == 0) return std::move(result.value);
+  }
   // Seeds taken before an EdgeDelta stay usable after it: vertices the
   // seed does not cover and labels referencing vanished vertices become
   // singletons instead of rejecting the whole seed.
@@ -1564,7 +1580,6 @@ static ParResult warm_impl(const graph::EdgeList& edges, vid_t n_vertices,
       }
     }
   }
-  std::mutex result_mutex;
   pml::Runtime::run(
       opts.nranks,
       [&](pml::Comm& comm) {
@@ -1574,24 +1589,30 @@ static ParResult warm_impl(const graph::EdgeList& edges, vid_t n_vertices,
         engine.warm_start(labels);
         ParResult local = run_levels(comm, engine, n, opts, busy);
         if (comm.rank() == 0) {
-          std::scoped_lock lock(result_mutex);
-          result = std::move(local);
+          plv::MutexLock lock(result.mu);
+          result.value = std::move(local);
         }
       },
       kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
       opts.hybrid_options());
-  unfold_vertex_following(fold, result);
-  return result;
+  plv::MutexLock lock(result.mu);
+  unfold_vertex_following(fold, result.value);
+  return std::move(result.value);
 }
 
 static ParResult streamed_impl(const EdgeSliceFn& slice_of, vid_t n_vertices,
                                const ParOptions& opts) {
   opts.validate();
   const pml::TransportKind kind = pml::resolve_transport(opts.transport);
-  ParResult result;
-  result.transport = pml::transport_kind_name(kind);
-  if (n_vertices == 0) return result;
-  std::mutex result_mutex;
+  struct {
+    plv::Mutex mu;
+    ParResult value PLV_GUARDED_BY(mu);
+  } result;
+  {
+    plv::MutexLock lock(result.mu);
+    result.value.transport = pml::transport_kind_name(kind);
+    if (n_vertices == 0) return std::move(result.value);
+  }
   pml::Runtime::run(
       opts.nranks,
       [&](pml::Comm& comm) {
@@ -1601,13 +1622,14 @@ static ParResult streamed_impl(const EdgeSliceFn& slice_of, vid_t n_vertices,
         engine.init_from_slice(slice, n_vertices);
         ParResult local = run_levels(comm, engine, n_vertices, opts, busy);
         if (comm.rank() == 0) {
-          std::scoped_lock lock(result_mutex);
-          result = std::move(local);
+          plv::MutexLock lock(result.mu);
+          result.value = std::move(local);
         }
       },
       kind, pml::resolve_validate(opts.validate_transport), opts.tcp_options(),
       opts.hybrid_options());
-  return result;
+  plv::MutexLock lock(result.mu);
+  return std::move(result.value);
 }
 
 #if defined(PLV_COMPAT)
@@ -1711,7 +1733,10 @@ void session_rank_body(pml::Comm& comm, SessionShared& shared) {
     snap->incremental = incremental;
     snap->labels = r.final_labels;
     {
-      std::scoped_lock lock(shared.mu);
+      // Publish side of the snapshot contract (see SessionShared::snap):
+      // the fully built snapshot is swapped in and the epoch bumped under
+      // `mu`; the unlock is the release edge readers pair with.
+      plv::MutexLock lock(shared.mu);
       shared.snap = std::move(snap);
       shared.completed = seq;
     }
@@ -1737,8 +1762,8 @@ void session_rank_body(pml::Comm& comm, SessionShared& shared) {
     std::vector<Edge> ins;
     std::vector<Edge> del;
     if (me == 0) {
-      std::unique_lock lock(shared.mu);
-      shared.cv.wait(lock, [&] { return shared.has_command; });
+      plv::MutexLock lock(shared.mu);
+      while (!shared.has_command) shared.cv.wait(shared.mu);
       shared.has_command = false;
       cmd = WireCmd{static_cast<std::uint32_t>(shared.command.kind),
                     shared.command.delta.n_vertices, shared.command.seq};

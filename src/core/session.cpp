@@ -56,7 +56,7 @@ Session::Session(const GraphSource& source, const core::ParOptions& opts) {
           kind, pml::resolve_validate(shared.opts.validate_transport),
           shared.opts.tcp_options(), shared.opts.hybrid_options());
     } catch (...) {
-      std::scoped_lock lock(shared.mu);
+      plv::MutexLock lock(shared.mu);
       shared.dead = true;
       shared.error = std::current_exception();
     }
@@ -82,12 +82,12 @@ Session::~Session() {
 }
 
 std::shared_ptr<const LabelSnapshot> Session::wait_for_epoch(std::uint64_t seq) {
-  std::unique_lock lock(shared_->mu);
+  plv::MutexLock lock(shared_->mu);
   // snap != nullptr distinguishes "epoch 0 published" from the freshly
   // constructed state (completed starts at 0 before any run finishes).
-  shared_->cv.wait(lock, [&] {
-    return shared_->dead || (shared_->snap != nullptr && shared_->completed >= seq);
-  });
+  while (!shared_->dead && (shared_->snap == nullptr || shared_->completed < seq)) {
+    shared_->cv.wait(shared_->mu);
+  }
   if (shared_->snap == nullptr || shared_->completed < seq) {
     // Don't leave pending waiters racing a half-torn-down fleet.
     if (shared_->error != nullptr) std::rethrow_exception(shared_->error);
@@ -97,11 +97,11 @@ std::shared_ptr<const LabelSnapshot> Session::wait_for_epoch(std::uint64_t seq) 
 }
 
 std::shared_ptr<const LabelSnapshot> Session::apply(const EdgeDelta& batch) {
-  std::scoped_lock serialize(apply_mu_);
+  plv::MutexLock serialize(apply_mu_);
   if (closed_) throw std::logic_error("Session: apply() after close()");
   const std::uint64_t seq = submitted_ + 1;
   {
-    std::scoped_lock lock(shared_->mu);
+    plv::MutexLock lock(shared_->mu);
     if (shared_->dead) {
       if (shared_->error != nullptr) std::rethrow_exception(shared_->error);
       throw std::runtime_error("Session: fleet is dead");
@@ -115,12 +115,12 @@ std::shared_ptr<const LabelSnapshot> Session::apply(const EdgeDelta& batch) {
 }
 
 std::shared_ptr<const LabelSnapshot> Session::snapshot() const {
-  std::scoped_lock lock(shared_->mu);
+  plv::MutexLock lock(shared_->mu);
   return shared_->snap;
 }
 
 std::uint64_t Session::epoch() const {
-  std::scoped_lock lock(shared_->mu);
+  plv::MutexLock lock(shared_->mu);
   return shared_->completed;
 }
 
@@ -131,11 +131,11 @@ std::vector<vid_t> Session::community_members(vid_t c) const {
 }
 
 void Session::close() {
-  std::scoped_lock serialize(apply_mu_);
+  plv::MutexLock serialize(apply_mu_);
   if (closed_) return;
   closed_ = true;
   {
-    std::scoped_lock lock(shared_->mu);
+    plv::MutexLock lock(shared_->mu);
     if (!shared_->dead) {
       shared_->command =
           SessionCommand{SessionCommand::Kind::kShutdown, EdgeDelta{}, submitted_ + 1};

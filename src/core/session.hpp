@@ -23,15 +23,14 @@
 // never for the duration of a refine).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/louvain.hpp"
+#include "common/sync.hpp"
 #include "core/options.hpp"
 
 namespace plv {
@@ -65,17 +64,25 @@ struct SessionShared {
   vid_t init_n{0};
   core::ParOptions opts;
 
-  // Command queue + completion signalling (rank-0 process only).
-  std::mutex mu;
-  std::condition_variable cv;
-  bool has_command{false};
-  SessionCommand command;
-  std::uint64_t completed{0};  // epoch of the latest published snapshot
-  bool dead{false};
-  std::exception_ptr error;
+  // Command queue + completion signalling (rank-0 process only). `mu`
+  // guards everything below it; the fields above are frozen before the
+  // fleet spawns and need no capability.
+  plv::Mutex mu;
+  plv::CondVar cv;
+  bool has_command PLV_GUARDED_BY(mu){false};
+  SessionCommand command PLV_GUARDED_BY(mu);
+  std::uint64_t completed PLV_GUARDED_BY(mu){0};  // epoch of the latest published snapshot
+  bool dead PLV_GUARDED_BY(mu){false};
+  std::exception_ptr error PLV_GUARDED_BY(mu);
 
-  // Latest published snapshot; swapped under `mu`, read by pointer copy.
-  std::shared_ptr<const LabelSnapshot> snap;
+  // Latest published snapshot. Publication contract: the rank-0 pump
+  // builds the LabelSnapshot outside any lock, then swaps this
+  // shared_ptr and bumps `completed` under `mu` (release side); readers
+  // copy the pointer under the same `mu` (acquire side) and use the
+  // immutable snapshot lock-free from then on. The mutex hand-off is the
+  // only release/acquire edge a reader needs — everything reachable from
+  // `snap` was written before the publish-side unlock.
+  std::shared_ptr<const LabelSnapshot> snap PLV_GUARDED_BY(mu);
 };
 
 /// The SPMD body every rank of the resident fleet runs; defined in
@@ -132,9 +139,10 @@ class Session {
 
   std::unique_ptr<core::detail::SessionShared> shared_;
   std::thread fleet_;
-  std::mutex apply_mu_;          // serializes apply()/close() callers
-  std::uint64_t submitted_{0};   // last command seq handed to the fleet
-  bool closed_{false};
+  plv::Mutex apply_mu_;  // serializes apply()/close() callers
+  // last command seq handed to the fleet
+  std::uint64_t submitted_ PLV_GUARDED_BY(apply_mu_){0};
+  bool closed_ PLV_GUARDED_BY(apply_mu_){false};
 };
 
 }  // namespace plv

@@ -5,6 +5,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "common/sync.hpp"
 #include "graph/partition.hpp"
 #include "pml/aggregator.hpp"
 
@@ -152,21 +153,24 @@ SsspResult sssp_parallel(const graph::EdgeList& edges, vid_t n_vertices, vid_t r
   check_weights(edges);
   opts.validate();
   const vid_t n = std::max(n_vertices, edges.vertex_count());
-  SsspResult result;
-  if (n == 0 || root >= n) return result;
-  std::mutex mutex;
+  if (n == 0 || root >= n) return SsspResult{};
+  struct {
+    plv::Mutex mu;
+    SsspResult value PLV_GUARDED_BY(mu);
+  } result;
   pml::Runtime::run(
       opts.nranks,
       [&](pml::Comm& comm) {
         SsspResult local = sssp_rank(comm, edges, n, root, opts);
         if (comm.rank() == 0) {
-          std::scoped_lock lock(mutex);
-          result = std::move(local);
+          plv::MutexLock lock(result.mu);
+          result.value = std::move(local);
         }
       },
       pml::resolve_transport(opts.transport),
       pml::resolve_validate(opts.validate_transport), opts.tcp_options());
-  return result;
+  plv::MutexLock lock(result.mu);
+  return std::move(result.value);
 }
 
 SsspResult sssp_seq(const graph::EdgeList& edges, vid_t n_vertices, vid_t root) {

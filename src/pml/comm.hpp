@@ -70,7 +70,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -78,6 +77,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/traffic.hpp"
 #include "pml/mailbox.hpp"
 #include "pml/transport.hpp"
@@ -1272,10 +1272,14 @@ class Runtime {
     detail::ThreadShared state(nranks);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(nranks));
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    // First-throwing rank wins; the guarded slot is the only cross-rank
+    // mutable state in the launcher itself.
+    struct {
+      plv::Mutex mu;
+      std::exception_ptr first PLV_GUARDED_BY(mu);
+    } error;
     for (int r = 0; r < nranks; ++r) {
-      threads.emplace_back([&state, &body, &first_error, &error_mutex, validate, r] {
+      threads.emplace_back([&state, &body, &error, validate, r] {
         ThreadTransport transport(&state, r);
         bool failed = false;
         try {
@@ -1296,8 +1300,8 @@ class Runtime {
           failed = true;  // peer-induced: the originating rank records the cause
         } catch (...) {
           {
-            std::scoped_lock lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            plv::MutexLock lock(error.mu);
+            if (!error.first) error.first = std::current_exception();
           }
           failed = true;
         }
@@ -1308,7 +1312,10 @@ class Runtime {
       });
     }
     for (auto& t : threads) t.join();
-    if (first_error) std::rethrow_exception(first_error);
+    {
+      plv::MutexLock lock(error.mu);
+      if (error.first) std::rethrow_exception(error.first);
+    }
     if (state.aborted.load(std::memory_order_seq_cst)) {
       // Possible only if a body threw AbortedError itself; still fail.
       throw AbortedError();

@@ -25,14 +25,14 @@
 
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace plv::pml {
 
@@ -203,7 +203,7 @@ class Mailbox {
 
   /// Deposits a filled chunk (thread-safe, called by any sender). The
   /// mailbox takes ownership until the consumer drains it.
-  void push(Chunk* chunk) {
+  void push(Chunk* chunk) PLV_EXCLUDES(wait_mutex_) {
     assert(chunk != nullptr);
     Chunk* expected = head_.load(std::memory_order_relaxed);
     do {
@@ -218,7 +218,7 @@ class Mailbox {
     // register-then-recheck in wait_nonempty: either we see the waiter and
     // notify, or the waiter's predicate sees our push.
     if (expected == nullptr && waiters_.load(std::memory_order_seq_cst) > 0) {
-      { std::scoped_lock lock(wait_mutex_); }  // close the check-then-sleep race
+      { plv::MutexLock lock(wait_mutex_); }  // close the check-then-sleep race
       cv_.notify_all();
     }
   }
@@ -252,22 +252,24 @@ class Mailbox {
   /// notify path entirely. Only a genuinely idle consumer parks in the
   /// condition variable.
   template <typename StopFn>
-  bool wait_nonempty(StopFn&& stop, int spin_yields = 64) {
+  bool wait_nonempty(StopFn&& stop, int spin_yields = 64) PLV_EXCLUDES(wait_mutex_) {
     for (int i = 0; i < spin_yields; ++i) {
       if (!empty() || stop()) return !empty();
       std::this_thread::yield();
     }
-    std::unique_lock lock(wait_mutex_);
+    plv::MutexLock lock(wait_mutex_);
     waiters_.fetch_add(1, std::memory_order_seq_cst);
-    cv_.wait(lock, [&] { return !empty() || stop(); });
+    // Explicit predicate loop (not a lambda) so the wait discipline stays
+    // visible to the thread-safety analysis; see common/sync.hpp.
+    while (empty() && !stop()) cv_.wait(wait_mutex_);
     waiters_.fetch_sub(1, std::memory_order_relaxed);
     return !empty();
   }
 
   /// Wakes any consumer blocked in wait_nonempty (used by the runtime's
   /// abort path so a failed peer can never strand a waiter).
-  void interrupt() {
-    { std::scoped_lock lock(wait_mutex_); }
+  void interrupt() PLV_EXCLUDES(wait_mutex_) {
+    { plv::MutexLock lock(wait_mutex_); }
     cv_.notify_all();
   }
 
@@ -278,8 +280,11 @@ class Mailbox {
  private:
   std::atomic<Chunk*> head_{nullptr};
   std::atomic<int> waiters_{0};
-  std::mutex wait_mutex_;
-  std::condition_variable cv_;
+  // wait_mutex_ guards no data — it exists purely for the cv_ sleep/wake
+  // handshake (queue state lives in the lock-free head_); producers brush
+  // it only on the empty -> non-empty transition, see push().
+  plv::Mutex wait_mutex_;
+  plv::CondVar cv_;
 };
 
 }  // namespace plv::pml

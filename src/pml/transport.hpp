@@ -291,6 +291,8 @@ enum class TransportKind {
 /// test binary or bench can be re-run over another transport without
 /// touching every call site (the CI proc leg does exactly that).
 [[nodiscard]] inline TransportKind resolve_transport(TransportKind requested) {
+  // Read during single-threaded setup, before the fleet spawns.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("PLV_TRANSPORT");
   if (env != nullptr && *env != '\0') return parse_transport_kind(env);
   return requested;

@@ -134,6 +134,8 @@ namespace detail {
 /// which has no ParOptions in scope). Read once, like PLV_TRANSPORT.
 [[nodiscard]] inline bool validation_forced_by_env() noexcept {
   static const bool enabled =
+      // Read once under the static-init guard; no writer races it.
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
       parse_validate_env(std::getenv("PLV_VALIDATE"), std::getenv("PLV_PARANOID"),
                          /*requested=*/false);
   return enabled;
@@ -162,6 +164,12 @@ void check_source_quiescence_conservation(bool enforce, int rank, std::uint64_t 
 /// (std::unordered_map is banned from src/pml by the repo lint pass, and
 /// FlatMap is keyed by 32-bit vertex ids). Linear probing, power-of-two
 /// capacity, backward-shift erase; the null pointer is the empty slot.
+///
+/// Concurrency contract: a ChunkLedger (like every per-peer Lane below)
+/// is rank-local — it belongs to one ValidatingTransport, which belongs
+/// to one rank's thread, so it is deliberately lock-free and carries no
+/// capability annotations. Cross-rank effects reach it only as chunks
+/// drained from the rank's own mailbox.
 class ChunkLedger {
  public:
   enum class Origin : std::uint8_t { kAcquired, kDrained };
@@ -258,7 +266,10 @@ class ChunkLedger {
 /// be flipped without touching call sites. Cached on first call.
 [[nodiscard]] inline bool resolve_validate(bool requested) noexcept {
   static const bool env_validate = [] {
+    // Read once under the static-init guard; no writer races it.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* v = std::getenv("PLV_VALIDATE");
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* p = std::getenv("PLV_PARANOID");
     return (v != nullptr && *v != '\0') || (p != nullptr && *p != '\0');
   }();

@@ -42,7 +42,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -50,6 +49,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/errno_util.hpp"
+#include "common/sync.hpp"
 #include "pml/comm.hpp"
 #include "pml/transport.hpp"
 #include "pml/transport_check.hpp"
@@ -58,6 +59,9 @@
 namespace plv::pml {
 
 HybridOptions resolve_hybrid_options(HybridOptions requested) {
+  // Env knobs are read during single-threaded setup, before any worker
+  // threads or forked children exist.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* rpp = std::getenv("PLV_RANKS_PER_PROC");
   if (rpp != nullptr && *rpp != '\0') {
     char* end = nullptr;
@@ -69,6 +73,7 @@ HybridOptions resolve_hybrid_options(HybridOptions requested) {
     }
     requested.ranks_per_proc = static_cast<int>(v);
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* flat = std::getenv("PLV_FLAT_COLLECTIVES");
   if (flat != nullptr && *flat != '\0') {
     requested.flat_collectives = std::string_view(flat) != "0";
@@ -85,6 +90,13 @@ namespace {
 /// outgoing-span array during a group_alltoallv; the barrier is the
 /// classic generation-counting rendezvous, with the twist that waiters
 /// pump their own socket lanes (see HybridTransport::group_sync).
+///
+/// Synchronization map (no PLV_GUARDED_BY here on purpose): a member
+/// writes only its own `slots` entry before the rendezvous and peers read
+/// it only after — the generation bump (release store, acquire loads in
+/// the waiters' spin) is the ordering edge, not a lock the analysis could
+/// name. `count`/`generation` implement that rendezvous with explicit
+/// orders; `aborted` is the group-local kill flag.
 struct HybridShared {
   explicit HybridShared(int group_size)
       : slots(static_cast<std::size_t>(group_size), nullptr), size(group_size) {}
@@ -292,8 +304,12 @@ GroupOutcome run_group(int group, int nranks, const std::function<void(Comm&)>& 
   const int base = group * resolved.ranks_per_proc;
   const int count = std::min(resolved.ranks_per_proc, nranks - base);
   HybridShared shared(count);
-  GroupOutcome out;
-  std::mutex outcome_mutex;
+  // Loser ranks race to record the group's outcome; lowest failed rank
+  // wins, see the merge below.
+  struct {
+    plv::Mutex mu;
+    GroupOutcome out PLV_GUARDED_BY(mu);
+  } outcome;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(count));
   for (int j = 0; j < count; ++j) {
@@ -321,7 +337,8 @@ GroupOutcome run_group(int group, int nranks, const std::function<void(Comm&)>& 
       // Transport destructed above: this rank's lanes are closed, so
       // remote peers see Goodbye-then-EOF (clean) or bare EOF (failure).
       if (code == kExitClean) return;
-      std::scoped_lock lock(outcome_mutex);
+      plv::MutexLock lock(outcome.mu);
+      GroupOutcome& out = outcome.out;
       if (code == kExitFailed &&
           (out.code != kExitFailed || r < out.failed_rank)) {
         out.code = kExitFailed;
@@ -334,7 +351,8 @@ GroupOutcome run_group(int group, int nranks, const std::function<void(Comm&)>& 
     });
   }
   for (auto& t : threads) t.join();
-  return out;
+  plv::MutexLock lock(outcome.mu);
+  return std::move(outcome.out);
 }
 
 [[noreturn]] void hybrid_child_main(int group, int nranks,
@@ -412,7 +430,7 @@ void run_hybrid_ranks(int nranks, const std::function<void(Comm&)>& body, bool v
         const int err = errno;
         close_all();
         throw std::runtime_error(std::string("pml: socketpair failed: ") +
-                                 std::strerror(err));
+                                 plv::errno_str(err));
       }
       mesh[i][j] = sv[0];
       mesh[j][i] = sv[1];
@@ -422,7 +440,7 @@ void run_hybrid_ranks(int nranks, const std::function<void(Comm&)>& body, bool v
     if (::pipe(status_pipes[static_cast<std::size_t>(g)].data()) != 0) {
       const int err = errno;
       close_all();
-      throw std::runtime_error(std::string("pml: pipe failed: ") + std::strerror(err));
+      throw std::runtime_error(std::string("pml: pipe failed: ") + plv::errno_str(err));
     }
   }
 
@@ -440,7 +458,7 @@ void run_hybrid_ranks(int nranks, const std::function<void(Comm&)>& body, bool v
         int st = 0;
         ::waitpid(pids[static_cast<std::size_t>(q)], &st, 0);
       }
-      throw std::runtime_error(std::string("pml: fork failed: ") + std::strerror(err));
+      throw std::runtime_error(std::string("pml: fork failed: ") + plv::errno_str(err));
     }
     pids[static_cast<std::size_t>(g)] = pid;
   }
@@ -491,7 +509,7 @@ void run_hybrid_ranks(int nranks, const std::function<void(Comm&)>& body, bool v
     if (rc < 0) {
       group_code[gi] = kExitFailed;
       group_rank[gi] = leader;
-      group_error[gi] = std::string("waitpid failed: ") + std::strerror(errno);
+      group_error[gi] = std::string("waitpid failed: ") + plv::errno_str(errno);
     } else if (WIFEXITED(st)) {
       group_code[gi] = WEXITSTATUS(st);
       group_rank[gi] = leader;

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/errno_util.hpp"
 #include "pml/comm.hpp"
 #include "pml/transport.hpp"
 #include "pml/transport_check.hpp"
@@ -128,7 +129,7 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool val
         const int err = errno;
         close_all();
         throw std::runtime_error(std::string("pml: socketpair failed: ") +
-                                 std::strerror(err));
+                                 plv::errno_str(err));
       }
       mesh[i][j] = sv[0];
       mesh[j][i] = sv[1];
@@ -138,7 +139,7 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool val
     if (::pipe(status_pipes[r].data()) != 0) {
       const int err = errno;
       close_all();
-      throw std::runtime_error(std::string("pml: pipe failed: ") + std::strerror(err));
+      throw std::runtime_error(std::string("pml: pipe failed: ") + plv::errno_str(err));
     }
   }
 
@@ -157,7 +158,7 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool val
         int st = 0;
         ::waitpid(pids[static_cast<std::size_t>(q)], &st, 0);
       }
-      throw std::runtime_error(std::string("pml: fork failed: ") + std::strerror(err));
+      throw std::runtime_error(std::string("pml: fork failed: ") + plv::errno_str(err));
     }
     pids[static_cast<std::size_t>(r)] = pid;
   }
@@ -209,7 +210,7 @@ void run_proc_ranks(int nranks, const std::function<void(Comm&)>& body, bool val
       // ECHILD or worse: the child's fate is unknowable — never treat a
       // lost rank as clean.
       child_code[r] = kExitFailed;
-      child_error[r] = std::string("waitpid failed: ") + std::strerror(errno);
+      child_error[r] = std::string("waitpid failed: ") + plv::errno_str(errno);
     } else if (WIFEXITED(st)) {
       child_code[r] = WEXITSTATUS(st);
     } else {

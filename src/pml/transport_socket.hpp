@@ -70,6 +70,7 @@
 #include <string>
 #include <vector>
 
+#include "common/errno_util.hpp"
 #include "pml/comm.hpp"
 #include "pml/mailbox.hpp"
 #include "pml/transport.hpp"
@@ -488,7 +489,7 @@ class SocketFrameTransport final : public Transport {
         if (k == 0) return close_peer(r, "connection closed");
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
         if (errno == EINTR) continue;
-        return close_peer(r, std::string("recv failed: ") + std::strerror(errno));
+        return close_peer(r, std::string("recv failed: ") + plv::errno_str(errno));
       }
       // Payload streaming.
       std::byte* dst = rx.chunk != nullptr ? rx.chunk->raw() : rx.collective.data();
@@ -503,7 +504,7 @@ class SocketFrameTransport final : public Transport {
       if (k == 0) return close_peer(r, "connection closed");
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      return close_peer(r, std::string("recv failed: ") + std::strerror(errno));
+      return close_peer(r, std::string("recv failed: ") + plv::errno_str(errno));
     }
   }
 
@@ -647,7 +648,7 @@ class SocketFrameTransport final : public Transport {
       if (k < 0 && errno == EINTR) continue;
       // EPIPE / ECONNRESET / ETIMEDOUT (TCP user-timeout on a vanished
       // host): the peer is gone mid-protocol.
-      close_peer(dest, std::string("send failed: ") + std::strerror(errno));
+      close_peer(dest, std::string("send failed: ") + plv::errno_str(errno));
       aborted_ = true;
       throw AbortedError();
     }

@@ -59,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "common/errno_util.hpp"
 #include "pml/comm.hpp"
 #include "pml/transport.hpp"
 #include "pml/transport_check.hpp"
@@ -157,7 +158,7 @@ void tune_socket(int fd, int timeout_ms) {
     const int rc = ::poll(&pf, 1, static_cast<int>(left));
     if (rc < 0) {
       if (errno == EINTR) continue;
-      err = std::string("poll failed: ") + std::strerror(errno);
+      err = std::string("poll failed: ") + plv::errno_str(errno);
       return false;
     }
     if (rc == 0) {
@@ -174,7 +175,7 @@ void tune_socket(int fd, int timeout_ms) {
       return false;
     }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    err = std::string("recv failed: ") + std::strerror(errno);
+    err = std::string("recv failed: ") + plv::errno_str(errno);
     return false;
   }
   return true;
@@ -226,7 +227,7 @@ void check_handshake(const TcpHandshake& hs, int self, int nranks, int expect_ra
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     throw std::runtime_error(std::string("pml: tcp socket failed: ") +
-                             std::strerror(errno));
+                             plv::errno_str(errno));
   }
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -239,7 +240,7 @@ void check_handshake(const TcpHandshake& hs, int self, int nranks, int expect_ra
     const int err = errno;
     ::close(fd);
     throw std::runtime_error("pml: tcp bind/listen on port " + std::to_string(port) +
-                             " failed: " + std::strerror(err));
+                             " failed: " + plv::errno_str(err));
   }
   if (bound_port != nullptr) {
     sockaddr_in actual{};
@@ -265,6 +266,9 @@ void check_handshake(const TcpHandshake& hs, int self, int nranks, int expect_ra
     if (gai != 0) {
       // Name resolution can be transiently down while a fleet boots;
       // retry it like a refused connect.
+      // gai_strerror returns pointers into static const tables on
+      // glibc; no shared mutable buffer is involved.
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
       last_error = std::string("getaddrinfo: ") + ::gai_strerror(gai);
     } else {
       for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
@@ -286,10 +290,10 @@ void check_handshake(const TcpHandshake& hs, int self, int nranks, int expect_ra
               ::freeaddrinfo(res);
               return fd;
             }
-            last_error = std::string("connect: ") + std::strerror(soerr);
+            last_error = std::string("connect: ") + plv::errno_str(soerr);
           }
         } else {
-          last_error = std::string("connect: ") + std::strerror(errno);
+          last_error = std::string("connect: ") + plv::errno_str(errno);
         }
         ::close(fd);
       }
@@ -362,7 +366,7 @@ void check_handshake(const TcpHandshake& hs, int self, int nranks, int expect_ra
           continue;
         }
         throw std::runtime_error(std::string("pml: tcp accept failed: ") +
-                                 std::strerror(errno));
+                                 plv::errno_str(errno));
       }
       tune_socket(fd, timeout_ms);
       std::string err;
@@ -476,7 +480,7 @@ void run_tcp_loopback_fleet(int nranks, const std::function<void(Comm&)>& body,
     for (std::size_t r = 1; r < n; ++r) {
       if (::pipe(status_pipes[r].data()) != 0) {
         throw std::runtime_error(std::string("pml: pipe failed: ") +
-                                 std::strerror(errno));
+                                 plv::errno_str(errno));
       }
     }
   } catch (...) {
@@ -527,7 +531,7 @@ void run_tcp_loopback_fleet(int nranks, const std::function<void(Comm&)>& body,
         int st = 0;
         ::waitpid(pids[static_cast<std::size_t>(q)], &st, 0);
       }
-      throw std::runtime_error(std::string("pml: fork failed: ") + std::strerror(err));
+      throw std::runtime_error(std::string("pml: fork failed: ") + plv::errno_str(err));
     }
     pids[static_cast<std::size_t>(r)] = pid;
   }
@@ -578,7 +582,7 @@ void run_tcp_loopback_fleet(int nranks, const std::function<void(Comm&)>& body,
     } while (rc < 0 && errno == EINTR);
     if (rc < 0) {
       child_code[r] = kExitFailed;
-      child_error[r] = std::string("waitpid failed: ") + std::strerror(errno);
+      child_error[r] = std::string("waitpid failed: ") + plv::errno_str(errno);
     } else if (WIFEXITED(st)) {
       child_code[r] = WEXITSTATUS(st);
     } else {
@@ -652,9 +656,13 @@ std::vector<std::string> parse_host_list(const std::string& text) {
 }
 
 TcpOptions resolve_tcp_options(TcpOptions requested) {
+  // Env knobs are read during single-threaded setup, before the fleet
+  // spawns.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PLV_HOSTS"); env != nullptr && *env != '\0') {
     requested.hosts = parse_host_list(env);
   }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PLV_RANK"); env != nullptr && *env != '\0') {
     char* tail = nullptr;
     const long value = std::strtol(env, &tail, 10);

@@ -27,6 +27,15 @@ namespace plv::pml {
 namespace detail {
 
 /// State shared by all rank threads of one run.
+///
+/// Synchronization map (why nothing here carries a PLV_GUARDED_BY): the
+/// `slots` entries are published between two barrier phases — a rank
+/// writes only its own slot before the first arrive_and_wait and peers
+/// read it only after, so the barrier itself is the release/acquire edge
+/// and no lock exists for the analysis to name. `mailboxes` are
+/// internally synchronized (lock-free MPSC + annotated wait path, see
+/// mailbox.hpp); `pools` are strictly single-owner (only the rank's own
+/// thread touches its pool); `aborted` is a plain seq_cst flag.
 struct ThreadShared {
   explicit ThreadShared(int nranks)
       : nranks(nranks),

@@ -148,7 +148,9 @@ TEST(Histogram, ResetWithScaledThresholdTightensCutoffPerLevel) {
     // …and the floor can only bind from below: never above the range.
     EXPECT_GE(cutoff, gain_floor);
     EXPECT_LE(cutoff, gain_hi);
-    if (level > 0) EXPECT_LT(cutoff, prev_floored) << "level " << level;
+    if (level > 0) {
+      EXPECT_LT(cutoff, prev_floored) << "level " << level;
+    }
     prev_floored = cutoff;
   }
 }

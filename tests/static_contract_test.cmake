@@ -1,0 +1,64 @@
+# Driver for the static concurrency-contract harness (run via
+# `cmake -P`).  Three modes:
+#
+#   MODE=compile-fail  SNIPPET must be REJECTED by clang++ under
+#                      -Wthread-safety -Werror=thread-safety.
+#   MODE=compile-pass  SNIPPET must compile clean under the same flags
+#                      (positive control: proves the harness compiles).
+#   MODE=lint-fail     plv_lint.py --root LINT_ROOT must exit 1
+#                      (fixture tree holds a deliberate violation).
+#
+# Compile modes need a clang++ (CLANGXX); when none was found at
+# configure time the test prints the skip marker matched by its
+# SKIP_REGULAR_EXPRESSION property and exits 0, so GCC-only hosts skip
+# rather than fail.  Lint modes only need Python and are never skipped.
+#
+# Inputs: MODE, SNIPPET, CLANGXX, SRC_DIR (compile modes);
+#         MODE, PYTHON, LINT, LINT_ROOT (lint mode).
+
+if(MODE STREQUAL "compile-fail" OR MODE STREQUAL "compile-pass")
+  if(NOT CLANGXX)
+    message(STATUS "PLV_SKIP_NO_CLANG: clang++ not found; thread-safety "
+                   "negative-compile checks need the clang analysis")
+    return()
+  endif()
+  execute_process(
+    COMMAND ${CLANGXX} -std=c++20 -fsyntax-only
+            -Wthread-safety -Werror=thread-safety
+            -I ${SRC_DIR} ${SNIPPET}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(MODE STREQUAL "compile-fail")
+    if(rc EQUAL 0)
+      message(FATAL_ERROR "expected ${SNIPPET} to be rejected under "
+                          "-Werror=thread-safety, but it compiled clean")
+    endif()
+    # The rejection must come from the thread-safety analysis, not from
+    # an unrelated breakage (bad include path, syntax error).
+    if(NOT err MATCHES "thread-safety")
+      message(FATAL_ERROR "${SNIPPET} failed to compile, but not with a "
+                          "thread-safety diagnostic:\n${err}")
+    endif()
+    message(STATUS "rejected as expected: ${SNIPPET}")
+  else()
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "positive control ${SNIPPET} must compile "
+                          "clean under -Werror=thread-safety:\n${err}")
+    endif()
+    message(STATUS "compiled clean: ${SNIPPET}")
+  endif()
+elseif(MODE STREQUAL "lint-fail")
+  execute_process(
+    COMMAND ${PYTHON} ${LINT} --root ${LINT_ROOT}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR "expected plv_lint to flag ${LINT_ROOT} "
+                        "(exit 1), got exit ${rc}:\n${out}${err}")
+  endif()
+  message(STATUS "flagged as expected: ${LINT_ROOT}\n${out}")
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

@@ -1,0 +1,18 @@
+// Violation class: double acquire.  The second lock() acquires a
+// capability that is already held (self-deadlock with plv::Mutex,
+// which is non-recursive).
+#include "common/sync.hpp"
+
+plv::Mutex mu;
+
+void deadlock() {
+  mu.lock();
+  mu.lock();  // expected-error: acquiring 'mu' that is already held
+  mu.unlock();
+  mu.unlock();
+}
+
+int main() {
+  deadlock();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Violation class: raw-mutex-ban.  std::mutex outside common/sync.hpp
+// must be rejected by plv_lint (use the annotated plv::Mutex wrapper).
+#include <mutex>
+
+std::mutex stray_mu;
+
+void touch() {
+  std::lock_guard<std::mutex> lock(stray_mu);
+}

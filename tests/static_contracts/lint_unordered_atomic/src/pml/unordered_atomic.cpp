@@ -1,0 +1,10 @@
+// Violation class: explicit-memory-order.  Atomic operations in the
+// concurrency core must name their memory_order; the default-seq_cst
+// shorthand hides the protocol and must be rejected by plv_lint.
+#include <atomic>
+
+std::atomic<int> generation{0};
+
+int snapshot() {
+  return generation.load();
+}

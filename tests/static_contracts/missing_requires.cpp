@@ -1,0 +1,20 @@
+// Violation class: missing REQUIRES at a call site.  bump() declares
+// PLV_REQUIRES(mu); the caller invokes it with the lock not held.
+#include "common/sync.hpp"
+
+struct Counter {
+  plv::Mutex mu;
+  int hits PLV_GUARDED_BY(mu) = 0;
+
+  void bump() PLV_REQUIRES(mu) { ++hits; }
+};
+
+void poke(Counter& c) {
+  c.bump();  // expected-error: calling 'bump' requires holding 'mu'
+}
+
+int main() {
+  Counter c;
+  poke(c);
+  return 0;
+}

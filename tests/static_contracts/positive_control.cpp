@@ -1,0 +1,43 @@
+// Positive control: idiomatic use of every annotated primitive.  This
+// file must compile CLEAN under -Wthread-safety -Werror=thread-safety —
+// it proves the harness actually compiles the snippets (a broken
+// include path would make the negative cases "fail" vacuously).
+//
+// It also pins the repo's cv-wait convention: an explicit while-loop
+// around CondVar::wait(mu) inside the annotated critical section, never
+// a predicate lambda (the analysis is intra-procedural and cannot see
+// held locks inside lambda bodies).
+#include "common/sync.hpp"
+
+struct Gate {
+  plv::Mutex mu;
+  plv::CondVar cv;
+  bool open PLV_GUARDED_BY(mu) = false;
+
+  void release() {
+    plv::MutexLock lock(mu);
+    open = true;
+    cv.notify_all();
+  }
+
+  void pass() {
+    plv::MutexLock lock(mu);
+    while (!open) {
+      cv.wait(mu);
+    }
+  }
+
+  bool peek() PLV_REQUIRES(mu) { return open; }
+
+  bool try_peek() PLV_EXCLUDES(mu) {
+    plv::MutexLock lock(mu);
+    return peek();
+  }
+};
+
+int main() {
+  Gate g;
+  g.release();
+  g.pass();
+  return g.try_peek() ? 0 : 1;
+}

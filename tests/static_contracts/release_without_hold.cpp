@@ -1,0 +1,15 @@
+// Violation class: release without hold.  unlock() releases a
+// capability that was never acquired on this path (undefined behaviour
+// on std::mutex).
+#include "common/sync.hpp"
+
+plv::Mutex mu;
+
+void stray_release() {
+  mu.unlock();  // expected-error: releasing 'mu' that is not held
+}
+
+int main() {
+  stray_release();
+  return 0;
+}

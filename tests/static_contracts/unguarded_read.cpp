@@ -1,0 +1,18 @@
+// Violation class: unguarded read.  `hits` is PLV_GUARDED_BY(mu), but
+// read_unlocked() touches it without holding the capability.  Clang's
+// thread-safety analysis must reject this under -Werror=thread-safety.
+#include "common/sync.hpp"
+
+struct Counter {
+  plv::Mutex mu;
+  int hits PLV_GUARDED_BY(mu) = 0;
+
+  int read_unlocked() {
+    return hits;  // expected-error: reading 'hits' requires holding 'mu'
+  }
+};
+
+int main() {
+  Counter c;
+  return c.read_unlocked();
+}
